@@ -1,0 +1,302 @@
+//! Set-associative cache array with LRU replacement.
+//!
+//! The array tracks tags and dirty bits only — the simulator never models
+//! data values. Timing lives in [`crate::hierarchy`].
+
+/// A line evicted by a fill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Evicted {
+    pub line_addr: u64,
+    pub dirty: bool,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Way {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    /// LRU stamp: higher = more recently used.
+    stamp: u64,
+}
+
+/// One set-associative tag array.
+#[derive(Debug, Clone)]
+pub struct CacheArray {
+    ways: Vec<Way>, // sets × assoc, row-major
+    assoc: usize,
+    set_shift: u32, // unused bits below the set index (0: input is a line addr)
+    set_mask: u64,
+    clock: u64,
+    pub hits: u64,
+    pub misses: u64,
+}
+
+impl CacheArray {
+    /// Build a cache of `capacity_bytes` with 64 B lines.
+    ///
+    /// `capacity_bytes` must give a power-of-two number of sets.
+    pub fn new(capacity_bytes: u64, assoc: usize) -> Self {
+        assert!(assoc > 0);
+        let lines = capacity_bytes / 64;
+        assert!(lines >= assoc as u64, "capacity too small for associativity");
+        let sets = lines / assoc as u64;
+        assert!(sets.is_power_of_two(), "sets must be a power of two (got {sets})");
+        Self {
+            ways: vec![Way::default(); (sets * assoc as u64) as usize],
+            assoc,
+            set_shift: 0,
+            set_mask: sets - 1,
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    pub fn num_sets(&self) -> u64 {
+        self.set_mask + 1
+    }
+
+    pub fn capacity_bytes(&self) -> u64 {
+        self.ways.len() as u64 * 64
+    }
+
+    #[inline]
+    fn set_range(&self, line_addr: u64) -> std::ops::Range<usize> {
+        let set = ((line_addr >> self.set_shift) & self.set_mask) as usize;
+        set * self.assoc..(set + 1) * self.assoc
+    }
+
+    /// Look up a line; updates LRU and hit/miss counters on a demand access.
+    #[inline]
+    pub fn lookup(&mut self, line_addr: u64) -> bool {
+        self.clock += 1;
+        let r = self.set_range(line_addr);
+        for w in &mut self.ways[r] {
+            if w.valid && w.tag == line_addr {
+                w.stamp = self.clock;
+                self.hits += 1;
+                return true;
+            }
+        }
+        self.misses += 1;
+        false
+    }
+
+    /// Non-destructive presence check (no LRU update, no counters). Used by
+    /// the CALM oracle and by coherence assertions in tests.
+    #[inline]
+    pub fn peek(&self, line_addr: u64) -> bool {
+        let r = self.set_range(line_addr);
+        self.ways[r].iter().any(|w| w.valid && w.tag == line_addr)
+    }
+
+    /// Whether a present line is dirty.
+    pub fn peek_dirty(&self, line_addr: u64) -> bool {
+        let r = self.set_range(line_addr);
+        self.ways[r].iter().any(|w| w.valid && w.tag == line_addr && w.dirty)
+    }
+
+    /// Insert (or refresh) a line; returns the victim if a valid line was
+    /// displaced. If the line is already present, only LRU/dirty state is
+    /// updated and no eviction happens.
+    pub fn fill(&mut self, line_addr: u64, dirty: bool) -> Option<Evicted> {
+        self.clock += 1;
+        let range = self.set_range(line_addr);
+        // Already present: refresh.
+        for w in &mut self.ways[range.clone()] {
+            if w.valid && w.tag == line_addr {
+                w.stamp = self.clock;
+                w.dirty |= dirty;
+                return None;
+            }
+        }
+        // Choose an invalid way or the LRU victim.
+        let mut victim = range.start;
+        let mut best = u64::MAX;
+        for i in range {
+            let w = &self.ways[i];
+            if !w.valid {
+                victim = i;
+                break;
+            }
+            if w.stamp < best {
+                best = w.stamp;
+                victim = i;
+            }
+        }
+        let w = &mut self.ways[victim];
+        let evicted = if w.valid {
+            Some(Evicted { line_addr: w.tag, dirty: w.dirty })
+        } else {
+            None
+        };
+        *w = Way { tag: line_addr, valid: true, dirty, stamp: self.clock };
+        evicted
+    }
+
+    /// Mark a present line dirty; returns whether the line was found.
+    pub fn mark_dirty(&mut self, line_addr: u64) -> bool {
+        let r = self.set_range(line_addr);
+        for w in &mut self.ways[r] {
+            if w.valid && w.tag == line_addr {
+                w.dirty = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Remove a line; returns its dirty bit if it was present.
+    pub fn invalidate(&mut self, line_addr: u64) -> Option<bool> {
+        let r = self.set_range(line_addr);
+        for w in &mut self.ways[r] {
+            if w.valid && w.tag == line_addr {
+                w.valid = false;
+                return Some(w.dirty);
+            }
+        }
+        None
+    }
+
+    /// Demand hit ratio so far.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Number of valid dirty lines currently resident (debug/test aid).
+    pub fn dirty_count(&self) -> usize {
+        self.ways.iter().filter(|w| w.valid && w.dirty).count()
+    }
+
+    /// Number of valid lines currently resident (debug/test aid).
+    pub fn valid_count(&self) -> usize {
+        self.ways.iter().filter(|w| w.valid).count()
+    }
+
+    /// Reset hit/miss counters (end of warmup) without touching contents.
+    pub fn reset_stats(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CacheArray {
+        // 4 sets × 2 ways.
+        CacheArray::new(8 * 64, 2)
+    }
+
+    #[test]
+    fn geometry() {
+        let c = CacheArray::new(32 * 1024, 8);
+        assert_eq!(c.num_sets(), 64);
+        assert_eq!(c.capacity_bytes(), 32 * 1024);
+    }
+
+    #[test]
+    fn miss_then_hit_after_fill() {
+        let mut c = small();
+        assert!(!c.lookup(5));
+        c.fill(5, false);
+        assert!(c.lookup(5));
+        assert_eq!(c.hits, 1);
+        assert_eq!(c.misses, 1);
+    }
+
+    #[test]
+    fn peek_does_not_disturb_state() {
+        let mut c = small();
+        c.fill(5, false);
+        let before = (c.hits, c.misses);
+        assert!(c.peek(5));
+        assert!(!c.peek(6));
+        assert_eq!((c.hits, c.misses), before);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = small();
+        // Same set: addresses differing in bits above the set index.
+        let a = 0u64;
+        let b = 4; // 4 sets → stride 4 hits same set
+        let d = 8;
+        c.fill(a, false);
+        c.fill(b, false);
+        c.lookup(a); // a is now MRU
+        let ev = c.fill(d, false).expect("must evict");
+        assert_eq!(ev.line_addr, b, "LRU way is b");
+        assert!(c.peek(a) && c.peek(d) && !c.peek(b));
+    }
+
+    #[test]
+    fn dirty_bit_travels_with_eviction() {
+        let mut c = small();
+        c.fill(0, false);
+        c.mark_dirty(0);
+        c.fill(4, false);
+        let ev = c.fill(8, false).expect("evicts line 0");
+        assert_eq!(ev, Evicted { line_addr: 0, dirty: true });
+    }
+
+    #[test]
+    fn refill_of_present_line_does_not_evict() {
+        let mut c = small();
+        c.fill(0, false);
+        c.fill(4, false);
+        assert!(c.fill(0, true).is_none(), "refresh, not eviction");
+        assert!(c.peek_dirty(0), "dirty bit merged in");
+    }
+
+    #[test]
+    fn invalidate_removes_line() {
+        let mut c = small();
+        c.fill(3, true);
+        assert_eq!(c.invalidate(3), Some(true));
+        assert!(!c.peek(3));
+        assert_eq!(c.invalidate(3), None);
+    }
+
+    #[test]
+    fn mark_dirty_on_absent_line_reports_false() {
+        let mut c = small();
+        assert!(!c.mark_dirty(77));
+    }
+
+    #[test]
+    fn working_set_larger_than_cache_thrashes() {
+        let mut c = small(); // 8 lines
+        for round in 0..4 {
+            for a in 0..32u64 {
+                let hit = c.lookup(a);
+                if round > 0 {
+                    assert!(!hit, "LRU must thrash on a 4x working set");
+                }
+                if !hit {
+                    c.fill(a, false);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn working_set_smaller_than_cache_always_hits_after_warmup() {
+        let mut c = CacheArray::new(64 * 1024, 8);
+        for a in 0..512u64 {
+            c.lookup(a);
+            c.fill(a, false);
+        }
+        c.reset_stats();
+        for a in 0..512u64 {
+            assert!(c.lookup(a));
+        }
+        assert_eq!(c.misses, 0);
+    }
+}

@@ -1,0 +1,142 @@
+//! 2D-mesh network-on-chip latency model.
+//!
+//! Table III: "2D mesh, 3 cycles/hop". Cores and LLC banks are co-located
+//! on tiles (one bank per core tile, as in tiled manycore designs); memory
+//! controllers sit on the mesh's left and right edges. Latency is
+//! XY-routed Manhattan distance times the per-hop cost; link contention is
+//! abstracted away (the paper does the same — its on-chip time is dominated
+//! by hop count and LLC access latency).
+
+use coaxial_sim::Cycle;
+
+/// Mesh geometry and hop cost.
+#[derive(Debug, Clone)]
+pub struct Mesh {
+    cols: usize,
+    rows: usize,
+    cycles_per_hop: Cycle,
+    /// Edge positions of each memory controller (one per memory channel),
+    /// as (col, row) with col == -1 (left edge) or cols (right edge).
+    mc_tiles: Vec<(i64, i64)>,
+}
+
+impl Mesh {
+    /// Build a mesh for `tiles` core/LLC tiles and `mem_channels` edge MCs.
+    ///
+    /// Tiles are laid out row-major on the smallest near-square grid; MCs
+    /// alternate left/right edges, spread over the rows.
+    pub fn new(tiles: usize, mem_channels: usize, cycles_per_hop: Cycle) -> Self {
+        assert!(tiles > 0 && mem_channels > 0);
+        let cols = (tiles as f64).sqrt().ceil() as usize;
+        let rows = tiles.div_ceil(cols);
+        let mc_tiles = (0..mem_channels)
+            .map(|i| {
+                let side = if i % 2 == 0 { -1 } else { cols as i64 };
+                let row = ((i / 2) * rows.max(1)) / mem_channels.div_ceil(2).max(1);
+                (side, (row % rows) as i64)
+            })
+            .collect();
+        Self { cols, rows, cycles_per_hop, mc_tiles }
+    }
+
+    pub fn dims(&self) -> (usize, usize) {
+        (self.cols, self.rows)
+    }
+
+    #[inline]
+    fn tile_pos(&self, tile: usize) -> (i64, i64) {
+        ((tile % self.cols) as i64, (tile / self.cols) as i64)
+    }
+
+    #[inline]
+    fn manhattan(a: (i64, i64), b: (i64, i64)) -> u64 {
+        ((a.0 - b.0).abs() + (a.1 - b.1).abs()) as u64
+    }
+
+    /// One-way latency between two core/LLC tiles.
+    #[inline]
+    pub fn tile_to_tile(&self, a: usize, b: usize) -> Cycle {
+        Self::manhattan(self.tile_pos(a), self.tile_pos(b)) * self.cycles_per_hop
+    }
+
+    /// One-way latency from a tile to a memory controller.
+    #[inline]
+    pub fn tile_to_mc(&self, tile: usize, mc: usize) -> Cycle {
+        let mc = &self.mc_tiles[mc % self.mc_tiles.len()];
+        Self::manhattan(self.tile_pos(tile), *mc) * self.cycles_per_hop
+    }
+
+    /// Mean tile-to-tile latency (used in reports).
+    pub fn mean_tile_latency(&self) -> f64 {
+        let n = self.cols * self.rows;
+        let mut sum = 0u64;
+        for a in 0..n {
+            for b in 0..n {
+                sum += self.tile_to_tile(a, b);
+            }
+        }
+        sum as f64 / (n * n) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_tiles_fit_a_4x3_mesh() {
+        let m = Mesh::new(12, 1, 3);
+        assert_eq!(m.dims(), (4, 3));
+    }
+
+    #[test]
+    fn self_distance_is_zero() {
+        let m = Mesh::new(12, 4, 3);
+        for t in 0..12 {
+            assert_eq!(m.tile_to_tile(t, t), 0);
+        }
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let m = Mesh::new(12, 4, 3);
+        for a in 0..12 {
+            for b in 0..12 {
+                assert_eq!(m.tile_to_tile(a, b), m.tile_to_tile(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn corner_to_corner_is_max() {
+        let m = Mesh::new(12, 1, 3);
+        // (0,0) to (3,2): 5 hops × 3 cycles.
+        assert_eq!(m.tile_to_tile(0, 11), 15);
+    }
+
+    #[test]
+    fn mc_latency_is_positive_from_interior() {
+        let m = Mesh::new(12, 4, 3);
+        // Tile 5 = (1,1): at least 2 hops to any edge MC.
+        for mc in 0..4 {
+            assert!(m.tile_to_mc(5, mc) >= 2 * 3);
+        }
+    }
+
+    #[test]
+    fn mcs_spread_across_both_edges() {
+        let m = Mesh::new(12, 4, 3);
+        // Left-edge MCs are nearer col 0; right-edge MCs nearer col 3.
+        let left = m.tile_to_mc(0, 0); // tile (0,0), mc 0 on left
+        let right = m.tile_to_mc(0, 1); // mc 1 on right edge
+        assert!(left < right, "left {left} vs right {right}");
+    }
+
+    #[test]
+    fn mean_latency_reasonable_for_4x3() {
+        let m = Mesh::new(12, 1, 3);
+        let mean = m.mean_tile_latency();
+        // Mean Manhattan distance on 4x3 is ~2.2 hops → ~6.7 cycles.
+        assert!((4.0..10.0).contains(&mean), "mean = {mean}");
+    }
+}

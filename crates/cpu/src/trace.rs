@@ -1,0 +1,130 @@
+//! Compressed instruction-trace format.
+//!
+//! A workload is an infinite stream of [`TraceOp`]s. Each op stands for
+//! `nonmem_before` ordinary instructions followed by one memory
+//! instruction. This is the same information content ChampSim traces carry
+//! after decoding, minus registers — dependencies are summarized by the
+//! `depends_on_last_load` bit (true for pointer-chasing loads, which is
+//! the dependency pattern that matters for MLP).
+
+use serde::Serialize;
+
+/// Memory operation kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum MemKind {
+    Load,
+    Store,
+}
+
+/// One compressed trace record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct TraceOp {
+    /// Non-memory instructions preceding this memory operation.
+    pub nonmem_before: u32,
+    pub kind: MemKind,
+    /// 64 B line address (byte address >> 6).
+    pub line_addr: u64,
+    /// Program counter of the memory instruction (feeds MAP-I).
+    pub pc: u32,
+    /// This operation consumes the most recent prior load's result and
+    /// cannot issue before it completes (pointer chasing).
+    pub depends_on_last_load: bool,
+}
+
+impl TraceOp {
+    /// Instructions this record accounts for (the gap plus the op itself).
+    pub fn instructions(&self) -> u64 {
+        self.nonmem_before as u64 + 1
+    }
+
+    pub fn load(gap: u32, line_addr: u64, pc: u32) -> Self {
+        Self {
+            nonmem_before: gap,
+            kind: MemKind::Load,
+            line_addr,
+            pc,
+            depends_on_last_load: false,
+        }
+    }
+
+    pub fn store(gap: u32, line_addr: u64, pc: u32) -> Self {
+        Self {
+            nonmem_before: gap,
+            kind: MemKind::Store,
+            line_addr,
+            pc,
+            depends_on_last_load: false,
+        }
+    }
+
+    pub fn dependent(mut self) -> Self {
+        self.depends_on_last_load = true;
+        self
+    }
+}
+
+/// An infinite source of trace records (one per core).
+pub trait TraceSource {
+    fn next_op(&mut self) -> TraceOp;
+}
+
+/// A trace that replays a fixed vector of records forever. Mostly useful
+/// in tests and microbenchmarks.
+#[derive(Debug, Clone)]
+pub struct VecTrace {
+    ops: Vec<TraceOp>,
+    pos: usize,
+}
+
+impl VecTrace {
+    pub fn new(ops: Vec<TraceOp>) -> Self {
+        assert!(!ops.is_empty(), "trace must contain at least one op");
+        Self { ops, pos: 0 }
+    }
+}
+
+impl TraceSource for VecTrace {
+    fn next_op(&mut self) -> TraceOp {
+        let op = self.ops[self.pos];
+        self.pos = (self.pos + 1) % self.ops.len();
+        op
+    }
+}
+
+impl<T: TraceSource + ?Sized> TraceSource for Box<T> {
+    fn next_op(&mut self) -> TraceOp {
+        (**self).next_op()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instruction_accounting() {
+        let op = TraceOp::load(9, 100, 1);
+        assert_eq!(op.instructions(), 10);
+        assert_eq!(TraceOp::store(0, 5, 2).instructions(), 1);
+    }
+
+    #[test]
+    fn vec_trace_wraps_around() {
+        let mut t = VecTrace::new(vec![TraceOp::load(0, 1, 1), TraceOp::load(0, 2, 1)]);
+        assert_eq!(t.next_op().line_addr, 1);
+        assert_eq!(t.next_op().line_addr, 2);
+        assert_eq!(t.next_op().line_addr, 1);
+    }
+
+    #[test]
+    fn dependent_flag_builder() {
+        let op = TraceOp::load(3, 7, 9).dependent();
+        assert!(op.depends_on_last_load);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one op")]
+    fn empty_vec_trace_panics() {
+        let _ = VecTrace::new(vec![]);
+    }
+}

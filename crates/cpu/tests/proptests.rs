@@ -1,0 +1,92 @@
+//! Property-based tests for the core model: progress, bounds, and
+//! determinism under arbitrary traces.
+
+use proptest::prelude::*;
+
+use coaxial_cache::{CalmPolicy, Hierarchy, HierarchyConfig};
+use coaxial_cpu::{Core, CoreParams, MemKind, TraceOp, VecTrace};
+use coaxial_dram::{DramConfig, MultiChannel};
+
+fn arb_trace() -> impl Strategy<Value = Vec<TraceOp>> {
+    proptest::collection::vec(
+        (0u32..64, 0u64..(1 << 20), proptest::bool::ANY, proptest::bool::ANY, 0u32..64),
+        1..64,
+    )
+    .prop_map(|ops| {
+        ops.into_iter()
+            .map(|(gap, line, is_store, dep, pc)| TraceOp {
+                nonmem_before: gap,
+                kind: if is_store { MemKind::Store } else { MemKind::Load },
+                line_addr: line,
+                pc,
+                // Stores never chase in our generators; keep that shape.
+                depends_on_last_load: dep && !is_store,
+            })
+            .collect()
+    })
+}
+
+fn run_core(ops: Vec<TraceOp>, target: u64, limit: u64) -> (u64, u64) {
+    let mut core = Core::new(0, CoreParams::default(), Box::new(VecTrace::new(ops)));
+    let cfg = HierarchyConfig::table_iii(1, 1, 1.0, 38.4, CalmPolicy::Serial);
+    let mut h = Hierarchy::new(cfg, MultiChannel::new(DramConfig::ddr5_4800(), 1));
+    for now in 0..limit {
+        h.tick(now);
+        while let Some((_, id)) = h.pop_completion() {
+            core.on_memory_complete(id);
+        }
+        core.tick(now, &mut h);
+        assert!(core.rob_occupancy() <= 256, "ROB bound violated");
+        if core.retired >= target {
+            return (core.retired, now);
+        }
+    }
+    (core.retired, limit)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Any trace makes forward progress and respects the 4-wide retire
+    /// bound (IPC ≤ 4).
+    #[test]
+    fn any_trace_progresses_within_width(ops in arb_trace()) {
+        let (retired, cycles) = run_core(ops, 5_000, 5_000_000);
+        prop_assert!(retired >= 5_000, "must reach the target, got {retired}");
+        let ipc = retired as f64 / cycles.max(1) as f64;
+        prop_assert!(ipc <= 4.0 + 1e-9, "ipc {ipc} exceeds the machine width");
+    }
+
+    /// Identical traces produce identical timing (determinism through the
+    /// entire core + hierarchy + DRAM stack).
+    #[test]
+    fn identical_traces_time_identically(ops in arb_trace()) {
+        let a = run_core(ops.clone(), 3_000, 5_000_000);
+        let b = run_core(ops, 3_000, 5_000_000);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Adding dependencies can only slow a trace down (monotonicity of the
+    /// dependence model).
+    #[test]
+    fn dependencies_never_speed_things_up(ops in arb_trace()) {
+        let independent: Vec<TraceOp> = ops
+            .iter()
+            .map(|o| TraceOp { depends_on_last_load: false, ..*o })
+            .collect();
+        let dependent: Vec<TraceOp> = ops
+            .iter()
+            .map(|o| TraceOp {
+                depends_on_last_load: o.kind == MemKind::Load,
+                ..*o
+            })
+            .collect();
+        let (_, t_indep) = run_core(independent, 3_000, 10_000_000);
+        let (_, t_dep) = run_core(dependent, 3_000, 10_000_000);
+        // Allow tiny scheduling noise; dependence must not help.
+        prop_assert!(
+            t_dep + 50 >= t_indep,
+            "dependent {t_dep} finished before independent {t_indep}"
+        );
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based tests for the CXL link and Type-3 device models.
+
+use proptest::prelude::*;
+
+use coaxial_cxl::{CxlChannel, CxlLinkConfig, CxlMemory};
+use coaxial_dram::{DramConfig, MemRequest, MemResponse, MemoryBackend};
+
+fn arb_stream() -> impl Strategy<Value = Vec<(u64, bool)>> {
+    proptest::collection::vec((0u64..(1 << 20), proptest::bool::ANY), 1..100)
+}
+
+fn drive_channel(cfg: CxlLinkConfig, reqs: &[(u64, bool)]) -> Vec<MemResponse> {
+    let mut ch = CxlChannel::new(cfg, DramConfig::ddr5_4800());
+    let mut pending: std::collections::VecDeque<_> = reqs.iter().enumerate().collect();
+    let mut out = Vec::new();
+    for now in 0..20_000_000u64 {
+        ch.tick(now);
+        while let Some(&(id, &(addr, is_write))) = pending.front() {
+            let req = if is_write {
+                MemRequest::write(id as u64, addr, now)
+            } else {
+                MemRequest::read(id as u64, addr, now)
+            };
+            if ch.try_enqueue(req).is_ok() {
+                pending.pop_front();
+            } else {
+                break;
+            }
+        }
+        while let Some(r) = ch.pop_response() {
+            out.push(r);
+        }
+        if out.len() == reqs.len() {
+            break;
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Conservation through both link configurations: every request
+    /// completes exactly once with its address intact.
+    #[test]
+    fn link_conserves_requests(reqs in arb_stream(), asym in proptest::bool::ANY) {
+        let cfg = if asym { CxlLinkConfig::x8_asymmetric() } else { CxlLinkConfig::x8_symmetric() };
+        let out = drive_channel(cfg, &reqs);
+        prop_assert_eq!(out.len(), reqs.len());
+        let mut got: Vec<(u64, u64)> = out.iter().map(|r| (r.id, r.line_addr)).collect();
+        got.sort_unstable();
+        let mut want: Vec<(u64, u64)> =
+            reqs.iter().enumerate().map(|(i, &(a, _))| (i as u64, a)).collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Every response is at least as slow as the unloaded CXL+DRAM floor,
+    /// and the breakdown always sums to the total.
+    #[test]
+    fn latency_floor_and_breakdown(reqs in arb_stream()) {
+        let link = CxlLinkConfig::x8_symmetric();
+        let dram = DramConfig::ddr5_4800();
+        let read_floor = link.unloaded_read_adder() + dram.timings.unloaded_hit();
+        let out = drive_channel(link, &reqs);
+        for r in &out {
+            prop_assert_eq!(
+                r.queue_cycles + r.service_cycles + r.cxl_cycles,
+                r.total_cycles()
+            );
+            if !r.is_write {
+                prop_assert!(
+                    r.total_cycles() >= read_floor,
+                    "read faster than the unloaded floor: {r:?}"
+                );
+            }
+        }
+    }
+
+    /// Multi-channel interleaving conserves requests and addresses.
+    #[test]
+    fn memory_interleave_conserves(reqs in arb_stream(), channels in 1usize..5) {
+        let mut m =
+            CxlMemory::new(CxlLinkConfig::x8_symmetric(), DramConfig::ddr5_4800(), channels);
+        let mut pending: std::collections::VecDeque<_> = reqs.iter().enumerate().collect();
+        let mut got = Vec::new();
+        for now in 0..20_000_000u64 {
+            m.tick(now);
+            while let Some(&(id, &(addr, is_write))) = pending.front() {
+                let req = if is_write {
+                    MemRequest::write(id as u64, addr, now)
+                } else {
+                    MemRequest::read(id as u64, addr, now)
+                };
+                if m.try_enqueue(req).is_ok() {
+                    pending.pop_front();
+                } else {
+                    break;
+                }
+            }
+            while let Some(r) = m.pop_response(now) {
+                got.push((r.id, r.line_addr));
+            }
+            if got.len() == reqs.len() {
+                break;
+            }
+        }
+        got.sort_unstable();
+        let mut want: Vec<(u64, u64)> =
+            reqs.iter().enumerate().map(|(i, &(a, _))| (i as u64, a)).collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+}

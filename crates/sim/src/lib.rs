@@ -1,0 +1,24 @@
+//! Simulation substrate shared by every COAXIAL model crate.
+//!
+//! The whole system is simulated on a single 2.4 GHz clock (one tick =
+//! 0.41667 ns). DDR5-4800's I/O clock happens to also be 2.4 GHz, so one CPU
+//! cycle equals one DRAM clock and no cross-domain synchronization is needed
+//! (see DESIGN.md §5).
+//!
+//! This crate deliberately has no model-specific logic; it provides:
+//!
+//! * [`time`] — the `Cycle` type and ns⇄cycle conversion at the system clock,
+//! * [`rng`] — a tiny, fast, deterministic RNG (`SplitMix64`),
+//! * [`stats`] — counters, running means, and latency histograms with
+//!   percentile queries,
+//! * [`queue`] — bounded FIFO queues that record occupancy statistics.
+
+pub mod queue;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use queue::BoundedQueue;
+pub use rng::SplitMix64;
+pub use stats::{Histogram, MeanTracker};
+pub use time::{cycles_to_ns, ns_to_cycles, Cycle, CPU_FREQ_GHZ, NS_PER_CYCLE};

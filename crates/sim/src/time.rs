@@ -1,0 +1,58 @@
+//! System clock and time unit conversions.
+//!
+//! Everything in the simulator advances on a single 2.4 GHz clock. The paper
+//! (Table III) clocks its 12 OoO cores at 2.4 GHz; DDR5-4800 transfers data
+//! on both edges of a 2.4 GHz I/O clock, so memory timing parameters quoted
+//! in memory clocks translate 1:1 into system cycles.
+
+/// Simulation timestamp / duration, in system clock cycles (2.4 GHz).
+pub type Cycle = u64;
+
+/// System (CPU and DDR5-4800 I/O) clock frequency in GHz.
+pub const CPU_FREQ_GHZ: f64 = 2.4;
+
+/// Duration of one system clock cycle in nanoseconds (≈ 0.41667 ns).
+pub const NS_PER_CYCLE: f64 = 1.0 / CPU_FREQ_GHZ;
+
+/// Convert a nanosecond latency into system cycles, rounding up so that a
+/// quoted hardware latency is never under-modelled.
+#[inline]
+pub fn ns_to_cycles(ns: f64) -> Cycle {
+    (ns * CPU_FREQ_GHZ).ceil() as Cycle
+}
+
+/// Convert a cycle count back into nanoseconds.
+#[inline]
+pub fn cycles_to_ns(cycles: Cycle) -> f64 {
+    cycles as f64 * NS_PER_CYCLE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_cycle_is_sub_nanosecond() {
+        let ns = std::hint::black_box(NS_PER_CYCLE);
+        assert!(ns > 0.41 && ns < 0.42);
+    }
+
+    #[test]
+    fn ns_conversion_rounds_up() {
+        // 12.5 ns (one CXL port crossing) = exactly 30 cycles.
+        assert_eq!(ns_to_cycles(12.5), 30);
+        // 1 ns does not fit in 2 cycles (0.833 ns); it needs 3.
+        assert_eq!(ns_to_cycles(1.0), 3);
+        assert_eq!(ns_to_cycles(0.0), 0);
+    }
+
+    #[test]
+    fn round_trip_error_is_below_one_cycle() {
+        for ns in [0.5, 1.0, 12.5, 50.0, 70.0, 123.456] {
+            let c = ns_to_cycles(ns);
+            let back = cycles_to_ns(c);
+            assert!(back >= ns - 1e-9, "{back} < {ns}");
+            assert!(back - ns < NS_PER_CYCLE + 1e-9);
+        }
+    }
+}

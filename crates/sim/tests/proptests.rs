@@ -1,0 +1,88 @@
+//! Property-based tests for the simulation substrate.
+
+use proptest::prelude::*;
+
+use coaxial_sim::{BoundedQueue, Histogram, SplitMix64};
+
+proptest! {
+    /// Histogram percentiles are within one log-bucket (~3.2% relative
+    /// width, but never more than one step of the sorted data) of the
+    /// exact empirical quantile.
+    #[test]
+    fn histogram_percentile_tracks_exact_quantile(
+        mut values in proptest::collection::vec(1u64..1_000_000, 10..500),
+        p in 1.0f64..100.0,
+    ) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_unstable();
+        let idx = ((p / 100.0 * values.len() as f64).ceil() as usize).clamp(1, values.len()) - 1;
+        let exact = values[idx] as f64;
+        let got = h.percentile(p) as f64;
+        // Bucket floors under-report by at most one bucket width (~3.2%).
+        prop_assert!(got <= exact * 1.001 + 1.0, "got {got} > exact {exact}");
+        prop_assert!(got >= exact / 1.04 - 1.0, "got {got} << exact {exact}");
+    }
+
+    /// Histogram mean matches the arithmetic mean exactly (it tracks the
+    /// true sum, not bucket midpoints).
+    #[test]
+    fn histogram_mean_is_exact(values in proptest::collection::vec(0u64..1_000_000, 1..300)) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let exact = values.iter().sum::<u64>() as f64 / values.len() as f64;
+        prop_assert!((h.mean() - exact).abs() < 1e-6);
+        prop_assert_eq!(h.max(), *values.iter().max().unwrap());
+    }
+
+    /// BoundedQueue behaves exactly like a capacity-checked VecDeque under
+    /// arbitrary push/pop/remove sequences (model-based test).
+    #[test]
+    fn bounded_queue_matches_model(
+        cap in 1usize..16,
+        ops in proptest::collection::vec((0u8..3, 0u8..16), 0..200),
+    ) {
+        let mut q: BoundedQueue<u8> = BoundedQueue::new(cap);
+        let mut model: std::collections::VecDeque<u8> = Default::default();
+        for (op, val) in ops {
+            match op {
+                0 => {
+                    let expect_ok = model.len() < cap;
+                    let got = q.try_push(val).is_ok();
+                    prop_assert_eq!(got, expect_ok);
+                    if expect_ok {
+                        model.push_back(val);
+                    }
+                }
+                1 => {
+                    prop_assert_eq!(q.pop(), model.pop_front());
+                }
+                _ => {
+                    let idx = val as usize;
+                    let got = q.remove(idx);
+                    let want = if idx < model.len() { model.remove(idx) } else { None };
+                    prop_assert_eq!(got, want);
+                }
+            }
+            prop_assert_eq!(q.len(), model.len());
+            prop_assert_eq!(q.is_full(), model.len() >= cap);
+            prop_assert_eq!(q.front().copied(), model.front().copied());
+        }
+    }
+
+    /// SplitMix64 streams with different seeds do not correlate on long
+    /// prefixes, and `next_below` is exhaustive over small ranges.
+    #[test]
+    fn rng_small_range_is_exhaustive(seed in 0u64..10_000, bound in 2u64..9) {
+        let mut rng = SplitMix64::new(seed);
+        let mut seen = vec![false; bound as usize];
+        for _ in 0..(bound * 200) {
+            seen[rng.next_below(bound) as usize] = true;
+        }
+        prop_assert!(seen.iter().all(|&s| s), "all residues reachable");
+    }
+}

@@ -1,0 +1,239 @@
+//! Server configurations (paper Tables II and III).
+//!
+//! The paper simulates a 12-core slice of its 144-core server: the
+//! baseline gets one DDR5-4800 channel (12:1 core:MC ratio); COAXIAL
+//! variants replace it with 2–4 CXL-attached channels (8 DDR channels for
+//! COAXIAL-asym, two per CXL-asym link). All COAXIAL variants default to
+//! CALM_70%.
+
+use coaxial_cache::{CalmPolicy, PrefetchPolicy};
+use coaxial_cxl::CxlLinkConfig;
+use coaxial_dram::DramConfig;
+use serde::Serialize;
+
+/// What kind of memory system backs the processor.
+#[derive(Debug, Clone, Serialize)]
+pub enum MemorySystemKind {
+    /// Directly attached DDR channels (the baseline).
+    DirectDdr { channels: usize },
+    /// CXL-attached Type-3 devices.
+    Cxl { link: CxlLinkConfig, channels: usize },
+}
+
+/// A complete simulated server configuration.
+#[derive(Debug, Clone, Serialize)]
+pub struct SystemConfig {
+    /// Human-readable configuration name (used in reports).
+    pub name: String,
+    /// Cores on the simulated slice (Table III: 12).
+    pub cores: usize,
+    /// Cores actually running a workload (Fig. 11 sensitivity).
+    pub active_cores: usize,
+    /// LLC capacity per core in MB (Table II: 2 MB baseline, 1 MB for
+    /// COAXIAL-4x/asym).
+    pub llc_mb_per_core: f64,
+    pub memory: MemorySystemKind,
+    pub calm: CalmPolicy,
+    /// CALM_R monitoring epoch in cycles (ablation knob).
+    pub calm_epoch: u64,
+    /// Optional L2 prefetcher (extension; the paper runs without one).
+    pub prefetch: PrefetchPolicy,
+    pub dram: DramConfig,
+    /// RNG seed for workload generation and CALM_R decisions.
+    pub seed: u64,
+}
+
+impl SystemConfig {
+    fn base(name: &str, memory: MemorySystemKind, llc_mb: f64, calm: CalmPolicy) -> Self {
+        Self {
+            name: name.to_string(),
+            cores: 12,
+            active_cores: 12,
+            llc_mb_per_core: llc_mb,
+            memory,
+            calm,
+            calm_epoch: coaxial_cache::calm::CALM_EPOCH,
+            prefetch: PrefetchPolicy::None,
+            dram: DramConfig::ddr5_4800(),
+            seed: 0xC0A51A1,
+        }
+    }
+
+    /// DDR-based baseline: 12 cores, 1 DDR5-4800 channel, 2 MB LLC/core,
+    /// serial LLC/memory access.
+    pub fn ddr_baseline() -> Self {
+        Self::base(
+            "DDR-baseline",
+            MemorySystemKind::DirectDdr { channels: 1 },
+            2.0,
+            CalmPolicy::Serial,
+        )
+    }
+
+    /// COAXIAL-2x: 2 CXL channels, LLC unchanged (iso-LLC point).
+    pub fn coaxial_2x() -> Self {
+        Self::base(
+            "COAXIAL-2x",
+            MemorySystemKind::Cxl { link: CxlLinkConfig::x8_symmetric(), channels: 2 },
+            2.0,
+            CalmPolicy::CalmR { r: 0.7 },
+        )
+    }
+
+    /// COAXIAL-4x (the paper's default "COAXIAL"): 4 CXL channels, LLC
+    /// halved to 1 MB/core (iso-area point), CALM_70%.
+    pub fn coaxial_4x() -> Self {
+        Self::base(
+            "COAXIAL-4x",
+            MemorySystemKind::Cxl { link: CxlLinkConfig::x8_symmetric(), channels: 4 },
+            1.0,
+            CalmPolicy::CalmR { r: 0.7 },
+        )
+    }
+
+    /// COAXIAL-5x: iso-pin point (5 CXL channels per DDR channel) — 17%
+    /// larger die (Table II); evaluated for completeness.
+    pub fn coaxial_5x() -> Self {
+        Self::base(
+            "COAXIAL-5x",
+            MemorySystemKind::Cxl { link: CxlLinkConfig::x8_symmetric(), channels: 5 },
+            1.0,
+            CalmPolicy::CalmR { r: 0.7 },
+        )
+    }
+
+    /// COAXIAL-asym: 4 asymmetric-lane CXL channels, each fronting two DDR
+    /// channels (8 total), LLC 1 MB/core.
+    pub fn coaxial_asym() -> Self {
+        Self::base(
+            "COAXIAL-asym",
+            MemorySystemKind::Cxl { link: CxlLinkConfig::x8_asymmetric(), channels: 4 },
+            1.0,
+            CalmPolicy::CalmR { r: 0.7 },
+        )
+    }
+
+    /// Override the CALM mechanism (Fig. 7).
+    pub fn with_calm(mut self, calm: CalmPolicy) -> Self {
+        self.calm = calm;
+        let suffix = calm.label();
+        self.name = format!("{}+{}", self.name, suffix);
+        self
+    }
+
+    /// Override the CXL unloaded latency budget in ns (Fig. 10; §VII's
+    /// 10 ns OMI-like projection). No effect on DDR configurations.
+    pub fn with_cxl_latency_ns(mut self, total_ns: f64) -> Self {
+        if let MemorySystemKind::Cxl { link, .. } = &mut self.memory {
+            *link = link.clone().with_total_port_latency_ns(total_ns);
+            self.name = format!("{} ({total_ns:.0}ns CXL)", self.name);
+        }
+        self
+    }
+
+    /// Run the workload on only the first `n` cores (Fig. 11).
+    pub fn with_active_cores(mut self, n: usize) -> Self {
+        assert!(n >= 1 && n <= self.cores);
+        self.active_cores = n;
+        self
+    }
+
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enable an L2 prefetcher (extension experiments).
+    pub fn with_prefetch(mut self, prefetch: PrefetchPolicy) -> Self {
+        self.prefetch = prefetch;
+        if prefetch != PrefetchPolicy::None {
+            self.name = format!("{}+pf({})", self.name, prefetch.label());
+        }
+        self
+    }
+
+    /// Override the CALM_R monitoring epoch (ablation experiments).
+    pub fn with_calm_epoch(mut self, cycles: u64) -> Self {
+        assert!(cycles > 0);
+        self.calm_epoch = cycles;
+        self
+    }
+
+    /// Override the DRAM configuration (ablation experiments: page policy,
+    /// scheduler window, queue depths).
+    pub fn with_dram(mut self, dram: DramConfig) -> Self {
+        self.dram = dram;
+        self
+    }
+
+    /// Number of DDR channels behind the memory system.
+    pub fn ddr_channels(&self) -> usize {
+        match &self.memory {
+            MemorySystemKind::DirectDdr { channels } => *channels,
+            MemorySystemKind::Cxl { link, channels } => channels * link.ddr_channels_per_device,
+        }
+    }
+
+    /// Aggregate peak DDR bandwidth, GB/s.
+    pub fn peak_bandwidth_gbs(&self) -> f64 {
+        self.dram.peak_bandwidth_gbs() * self.ddr_channels() as f64
+    }
+
+    /// Relative memory bandwidth vs. the 1-channel baseline.
+    pub fn relative_bandwidth(&self) -> f64 {
+        self.ddr_channels() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_ii_channel_counts() {
+        assert_eq!(SystemConfig::ddr_baseline().ddr_channels(), 1);
+        assert_eq!(SystemConfig::coaxial_2x().ddr_channels(), 2);
+        assert_eq!(SystemConfig::coaxial_4x().ddr_channels(), 4);
+        assert_eq!(SystemConfig::coaxial_5x().ddr_channels(), 5);
+        assert_eq!(SystemConfig::coaxial_asym().ddr_channels(), 8);
+    }
+
+    #[test]
+    fn table_ii_llc_capacities() {
+        assert_eq!(SystemConfig::ddr_baseline().llc_mb_per_core, 2.0);
+        assert_eq!(SystemConfig::coaxial_2x().llc_mb_per_core, 2.0);
+        assert_eq!(SystemConfig::coaxial_4x().llc_mb_per_core, 1.0);
+        assert_eq!(SystemConfig::coaxial_asym().llc_mb_per_core, 1.0);
+    }
+
+    #[test]
+    fn coaxial_defaults_to_calm_70() {
+        match SystemConfig::coaxial_4x().calm {
+            CalmPolicy::CalmR { r } => assert!((r - 0.7).abs() < 1e-9),
+            other => panic!("default CALM must be CALM_70%, got {other:?}"),
+        }
+        assert_eq!(SystemConfig::ddr_baseline().calm, CalmPolicy::Serial);
+    }
+
+    #[test]
+    fn relative_bandwidth_matches_names() {
+        assert_eq!(SystemConfig::coaxial_4x().relative_bandwidth(), 4.0);
+        let base = SystemConfig::ddr_baseline().peak_bandwidth_gbs();
+        assert!((base - 38.4).abs() < 0.1);
+        assert!((SystemConfig::coaxial_4x().peak_bandwidth_gbs() - 4.0 * base).abs() < 0.5);
+    }
+
+    #[test]
+    fn latency_override_only_touches_cxl() {
+        let ddr = SystemConfig::ddr_baseline().with_cxl_latency_ns(70.0);
+        assert_eq!(ddr.name, "DDR-baseline");
+        let coax = SystemConfig::coaxial_4x().with_cxl_latency_ns(70.0);
+        assert!(coax.name.contains("70ns"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn active_cores_bounded() {
+        let _ = SystemConfig::ddr_baseline().with_active_cores(13);
+    }
+}

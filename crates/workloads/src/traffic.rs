@@ -1,0 +1,128 @@
+//! Rate-controlled random memory traffic (paper Fig. 2a).
+//!
+//! Generates Poisson request arrivals at a target utilization of one
+//! DDR5-4800 channel, with uniformly random addresses and a configurable
+//! read:write mix — the methodology the paper uses to produce its
+//! load-latency curve ("we control the load with random memory accesses of
+//! configurable arrival rate").
+
+use coaxial_dram::config::LINE_BYTES;
+use coaxial_dram::MemRequest;
+use coaxial_sim::{Cycle, SplitMix64};
+
+/// Poisson arrival process of random line requests.
+pub struct PoissonTraffic {
+    rng: SplitMix64,
+    /// Mean cycles between arrivals.
+    mean_interarrival: f64,
+    /// Next arrival time (fractional cycles carried to avoid drift).
+    next_arrival: f64,
+    /// Address space size in lines.
+    footprint_lines: u64,
+    /// Probability a request is a write.
+    write_frac: f64,
+    next_id: u64,
+}
+
+impl PoissonTraffic {
+    /// Traffic targeting `utilization` (0–1] of `peak_gbs` GB/s.
+    pub fn new(utilization: f64, peak_gbs: f64, write_frac: f64, seed: u64) -> Self {
+        assert!(utilization > 0.0 && utilization <= 1.0);
+        assert!((0.0..=1.0).contains(&write_frac));
+        let bytes_per_cycle = peak_gbs * coaxial_sim::NS_PER_CYCLE * utilization;
+        let mean_interarrival = LINE_BYTES as f64 / bytes_per_cycle;
+        Self {
+            rng: SplitMix64::new(seed ^ 0x7AF1C),
+            mean_interarrival,
+            next_arrival: 0.0,
+            footprint_lines: 1 << 26, // 4 GB: effectively random rows
+            write_frac,
+            next_id: 0,
+        }
+    }
+
+    /// Mean cycles between arrivals (for tests / reporting).
+    pub fn mean_interarrival(&self) -> f64 {
+        self.mean_interarrival
+    }
+
+    /// All requests arriving at or before `now`. Call once per cycle.
+    pub fn arrivals(&mut self, now: Cycle) -> Vec<MemRequest> {
+        let mut out = Vec::new();
+        while self.next_arrival <= now as f64 {
+            let line = self.rng.next_below(self.footprint_lines);
+            let id = self.next_id;
+            self.next_id += 1;
+            let req = if self.rng.chance(self.write_frac) {
+                MemRequest::write(id, line, now)
+            } else {
+                MemRequest::read(id, line, now)
+            };
+            out.push(req);
+            self.next_arrival += self.rng.next_exp(self.mean_interarrival);
+        }
+        out
+    }
+
+    /// Total requests generated so far.
+    pub fn generated(&self) -> u64 {
+        self.next_id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrival_rate_matches_target_utilization() {
+        // 50% of 38.4 GB/s = 19.2 GB/s = 8 B/cycle = 1 line per 8 cycles.
+        let mut t = PoissonTraffic::new(0.5, 38.4, 0.33, 1);
+        assert!((t.mean_interarrival() - 8.0).abs() < 0.01);
+        let horizon = 100_000u64;
+        let mut n = 0u64;
+        for now in 0..horizon {
+            n += t.arrivals(now).len() as u64;
+        }
+        let per_cycle = n as f64 / horizon as f64;
+        assert!((per_cycle - 0.125).abs() < 0.005, "rate = {per_cycle}");
+    }
+
+    #[test]
+    fn write_fraction_respected() {
+        let mut t = PoissonTraffic::new(0.8, 38.4, 0.25, 2);
+        let mut reads = 0u64;
+        let mut writes = 0u64;
+        for now in 0..200_000 {
+            for r in t.arrivals(now) {
+                if r.is_write {
+                    writes += 1;
+                } else {
+                    reads += 1;
+                }
+            }
+        }
+        let frac = writes as f64 / (reads + writes) as f64;
+        assert!((frac - 0.25).abs() < 0.01, "write fraction = {frac}");
+    }
+
+    #[test]
+    fn request_ids_are_unique_and_dense() {
+        let mut t = PoissonTraffic::new(0.9, 38.4, 0.5, 3);
+        let mut ids = Vec::new();
+        for now in 0..10_000 {
+            for r in t.arrivals(now) {
+                ids.push(r.id);
+            }
+        }
+        let n = ids.len() as u64;
+        assert_eq!(ids, (0..n).collect::<Vec<_>>());
+        assert_eq!(t.generated(), n);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_utilization_rejected() {
+        let _ = PoissonTraffic::new(0.0, 38.4, 0.0, 0);
+    }
+}

@@ -1,0 +1,269 @@
+//! `coaxial` — command-line front end to the COAXIAL reproduction.
+//!
+//! ```text
+//! coaxial list                            # the 36 workloads
+//! coaxial configs                         # Table II / III configurations
+//! coaxial run <workload> [opts]           # one simulation, full report
+//! coaxial compare <workload> [opts]       # baseline vs every COAXIAL variant
+//! coaxial sweep-latency <workload> [opts] # CXL latency premium sweep
+//! coaxial profile <workload> [--ops N]       # characterize a generator
+//! coaxial capture <workload> <file> [--ops N]
+//! coaxial replay <file> [opts]            # run a captured .cxtr trace
+//!
+//! common options:
+//!   --config <name>   ddr | 2x | 4x | 5x | asym        (default: 4x)
+//!   --instr <n>       measured instructions per core    (default: 120000)
+//!   --warmup <n>      warmup instructions per core      (default: 20000)
+//!   --cores <n>       active cores (1..12)              (default: 12)
+//!   --cxl-ns <f>      CXL latency premium override in ns
+//! ```
+
+use std::process::exit;
+
+use coaxial::cpu::tracefile;
+use coaxial::system::{RunReport, Simulation, SystemConfig};
+use coaxial::workloads::Workload;
+
+struct Opts {
+    config: String,
+    instr: u64,
+    warmup: u64,
+    cores: usize,
+    cxl_ns: Option<f64>,
+    ops: usize,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Self {
+            config: "4x".into(),
+            instr: coaxial::system::server::DEFAULT_INSTRUCTIONS,
+            warmup: coaxial::system::server::DEFAULT_WARMUP,
+            cores: 12,
+            cxl_ns: None,
+            ops: 100_000,
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!("{}", include_str!("coaxial.rs").lines().skip(2).take(18).map(|l| l.trim_start_matches("//! ")).collect::<Vec<_>>().join("\n"));
+    exit(2)
+}
+
+fn parse_opts(args: &[String]) -> Opts {
+    let mut o = Opts::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut next = || {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {a}");
+                exit(2)
+            })
+        };
+        match a.as_str() {
+            "--config" => o.config = next().clone(),
+            "--instr" => o.instr = next().parse().expect("--instr wants a number"),
+            "--warmup" => o.warmup = next().parse().expect("--warmup wants a number"),
+            "--cores" => o.cores = next().parse().expect("--cores wants a number"),
+            "--cxl-ns" => o.cxl_ns = Some(next().parse().expect("--cxl-ns wants a number")),
+            "--ops" => o.ops = next().parse().expect("--ops wants a number"),
+            other => {
+                eprintln!("unknown option {other}");
+                exit(2)
+            }
+        }
+    }
+    o
+}
+
+fn config_by_name(name: &str) -> SystemConfig {
+    match name {
+        "ddr" | "baseline" => SystemConfig::ddr_baseline(),
+        "2x" => SystemConfig::coaxial_2x(),
+        "4x" => SystemConfig::coaxial_4x(),
+        "5x" => SystemConfig::coaxial_5x(),
+        "asym" => SystemConfig::coaxial_asym(),
+        other => {
+            eprintln!("unknown config '{other}' (ddr | 2x | 4x | 5x | asym)");
+            exit(2)
+        }
+    }
+}
+
+fn build_config(o: &Opts) -> SystemConfig {
+    let mut cfg = config_by_name(&o.config).with_active_cores(o.cores);
+    if let Some(ns) = o.cxl_ns {
+        cfg = cfg.with_cxl_latency_ns(ns);
+    }
+    cfg
+}
+
+fn workload(name: &str) -> &'static Workload {
+    Workload::by_name(name).unwrap_or_else(|| {
+        eprintln!("unknown workload '{name}' — try `coaxial list`");
+        exit(2)
+    })
+}
+
+fn print_report(r: &RunReport) {
+    let (on, q, s, x) = r.breakdown_ns;
+    println!("config:      {}", r.config_name);
+    println!("workloads:   {}", r.workload_names.join(", "));
+    println!("IPC:         {:.3} (per core: {})",
+        r.ipc,
+        r.per_core_ipc.iter().map(|i| format!("{i:.2}")).collect::<Vec<_>>().join(" "));
+    println!("MPKI:        {:.1}", r.mpki);
+    println!(
+        "L2-miss lat: {:.0} ns = on-chip {:.0} + queuing {:.0} + DRAM {:.0} + CXL {:.0}",
+        r.l2_miss_latency_ns, on, q, s, x
+    );
+    println!(
+        "bandwidth:   {:.1} GB/s ({:.1} rd + {:.1} wr), {:.0}% of peak",
+        r.bandwidth_gbs,
+        r.read_gbs,
+        r.write_gbs,
+        r.utilization * 100.0
+    );
+    println!("LLC miss ratio among L2 misses: {:.0}%", r.llc_miss_ratio * 100.0);
+    if r.calm.decisions() > 0 {
+        println!(
+            "CALM:        FP {:.1}%/mem-access, FN {:.1}%/LLC-miss over {} decisions",
+            r.calm.false_pos_per_mem_access() * 100.0,
+            r.calm.false_neg_per_llc_miss() * 100.0,
+            r.calm.decisions()
+        );
+    }
+    println!("window:      {} cycles ({} instr/core)", r.cycles, r.instructions);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { usage() };
+    match cmd.as_str() {
+        "list" => {
+            println!("{:<15} {:<8} {:>9} {:>10}", "workload", "suite", "paper IPC", "paper MPKI");
+            for w in Workload::all() {
+                println!(
+                    "{:<15} {:<8} {:>9.2} {:>10}",
+                    w.name,
+                    format!("{:?}", w.suite),
+                    w.paper_ipc,
+                    w.paper_mpki
+                );
+            }
+        }
+        "configs" => {
+            for cfg in [
+                SystemConfig::ddr_baseline(),
+                SystemConfig::coaxial_2x(),
+                SystemConfig::coaxial_4x(),
+                SystemConfig::coaxial_5x(),
+                SystemConfig::coaxial_asym(),
+            ] {
+                println!(
+                    "{:<13} {:>2} DDR channels, {:>5.1} GB/s peak, LLC {:>3.1} MB/core, CALM {}",
+                    cfg.name,
+                    cfg.ddr_channels(),
+                    cfg.peak_bandwidth_gbs(),
+                    cfg.llc_mb_per_core,
+                    cfg.calm.label()
+                );
+            }
+        }
+        "run" => {
+            let Some(wl) = args.get(1) else { usage() };
+            let o = parse_opts(&args[2..]);
+            let r = Simulation::new(build_config(&o), workload(wl))
+                .instructions_per_core(o.instr)
+                .warmup(o.warmup)
+                .run();
+            print_report(&r);
+        }
+        "compare" => {
+            let Some(wl) = args.get(1) else { usage() };
+            let o = parse_opts(&args[2..]);
+            let w = workload(wl);
+            let run = |cfg: SystemConfig| {
+                Simulation::new(cfg.with_active_cores(o.cores), w)
+                    .instructions_per_core(o.instr)
+                    .warmup(o.warmup)
+                    .run()
+            };
+            let base = run(SystemConfig::ddr_baseline());
+            println!("{:<14} {:>7} {:>9} {:>11} {:>10}", "config", "IPC", "speedup", "L2-miss ns", "util");
+            for r in [
+                &base,
+                &run(SystemConfig::coaxial_2x()),
+                &run(SystemConfig::coaxial_4x()),
+                &run(SystemConfig::coaxial_5x()),
+                &run(SystemConfig::coaxial_asym()),
+            ] {
+                println!(
+                    "{:<14} {:>7.3} {:>8.2}x {:>11.0} {:>9.0}%",
+                    r.config_name,
+                    r.ipc,
+                    r.speedup_over(&base),
+                    r.l2_miss_latency_ns,
+                    r.utilization * 100.0
+                );
+            }
+        }
+        "sweep-latency" => {
+            let Some(wl) = args.get(1) else { usage() };
+            let o = parse_opts(&args[2..]);
+            let w = workload(wl);
+            let base = Simulation::new(SystemConfig::ddr_baseline().with_active_cores(o.cores), w)
+                .instructions_per_core(o.instr)
+                .warmup(o.warmup)
+                .run();
+            println!("baseline IPC {:.3}", base.ipc);
+            for ns in [10.0, 30.0, 50.0, 70.0, 90.0, 120.0] {
+                let r = Simulation::new(
+                    SystemConfig::coaxial_4x()
+                        .with_active_cores(o.cores)
+                        .with_cxl_latency_ns(ns),
+                    w,
+                )
+                .instructions_per_core(o.instr)
+                .warmup(o.warmup)
+                .run();
+                println!("CXL {ns:>5.0} ns: IPC {:.3}  speedup {:.2}x", r.ipc, r.speedup_over(&base));
+            }
+        }
+        "profile" => {
+            let Some(wl) = args.get(1) else { usage() };
+            let o = parse_opts(&args[2..]);
+            let p = coaxial::workloads::characterize(workload(wl), 0, 42, o.ops as u64);
+            println!("workload:        {}", p.workload);
+            println!("ops sampled:     {}", p.ops);
+            println!("density:         {:.1} mem ops / kilo-instruction", p.density_per_ki);
+            println!("write fraction:  {:.1}%", p.write_frac * 100.0);
+            println!("dependent ops:   {:.1}%", p.dependent_frac * 100.0);
+            println!("sequential ops:  {:.1}%", p.sequential_frac * 100.0);
+            println!("unique lines:    {} ({:.1} MB)", p.unique_lines, p.unique_lines as f64 * 64.0 / 1e6);
+            println!("line reuse:      {:.1}%", p.reuse_frac * 100.0);
+        }
+        "capture" => {
+            let (Some(wl), Some(path)) = (args.get(1), args.get(2)) else { usage() };
+            let o = parse_opts(&args[3..]);
+            let mut src = workload(wl).trace(0, 0xCAB);
+            tracefile::capture(std::path::Path::new(path), src.as_mut(), o.ops)
+                .unwrap_or_else(|e| {
+                    eprintln!("capture failed: {e}");
+                    exit(1)
+                });
+            println!("captured {} ops of {wl} to {path}", o.ops);
+        }
+        "replay" => {
+            let Some(path) = args.get(1) else { usage() };
+            let o = parse_opts(&args[2..]);
+            let r = Simulation::from_trace_file(build_config(&o), path)
+                .instructions_per_core(o.instr)
+                .warmup(o.warmup)
+                .run();
+            print_report(&r);
+        }
+        _ => usage(),
+    }
+}

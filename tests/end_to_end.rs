@@ -1,0 +1,143 @@
+//! End-to-end integration tests of the headline paper claims, on reduced
+//! instruction budgets. These span every crate: workload generators drive
+//! cores, through the cache hierarchy and CALM, over DDR or CXL backends.
+
+use coaxial::cache::CalmPolicy;
+use coaxial::system::{RunReport, Simulation, SystemConfig};
+use coaxial::workloads::Workload;
+
+const INSTR: u64 = 12_000;
+
+fn run(cfg: SystemConfig, workload: &str) -> RunReport {
+    let w = Workload::by_name(workload).expect("workload exists");
+    Simulation::new(cfg, w).instructions_per_core(INSTR).warmup(2_000).run()
+}
+
+#[test]
+fn bandwidth_bound_workloads_gain_substantially() {
+    for name in ["stream-copy", "stream-add", "lbm"] {
+        let base = run(SystemConfig::ddr_baseline(), name);
+        let coax = run(SystemConfig::coaxial_4x(), name);
+        let s = coax.speedup_over(&base);
+        assert!(s > 1.5, "{name}: speedup {s:.2} should exceed 1.5x");
+    }
+}
+
+#[test]
+fn latency_bound_workloads_do_not_gain() {
+    for name in ["raytrace", "pop2"] {
+        let base = run(SystemConfig::ddr_baseline(), name);
+        let coax = run(SystemConfig::coaxial_4x(), name);
+        let s = coax.speedup_over(&base);
+        assert!(s < 1.1, "{name}: speedup {s:.2} should be ~flat or negative");
+    }
+}
+
+#[test]
+fn queuing_delay_collapses_on_coaxial() {
+    let base = run(SystemConfig::ddr_baseline(), "stream-triad");
+    let coax = run(SystemConfig::coaxial_4x(), "stream-triad");
+    let (_, q_base, _, _) = base.breakdown_ns;
+    let (_, q_coax, _, _) = coax.breakdown_ns;
+    assert!(
+        q_coax < q_base / 3.0,
+        "queuing must collapse: {q_base:.0} ns -> {q_coax:.0} ns"
+    );
+}
+
+#[test]
+fn cxl_interface_delay_matches_the_model() {
+    let coax = run(SystemConfig::coaxial_4x(), "PageRank");
+    let (_, _, _, cxl) = coax.breakdown_ns;
+    // ~52.5 ns for reads; the average mixes in LLC-hit L2 misses (0 CXL),
+    // so it lands at llc_miss_ratio × 52.5.
+    let expected = coax.llc_miss_ratio * 52.5;
+    assert!(
+        (cxl - expected).abs() < 8.0,
+        "CXL component {cxl:.1} ns vs expected {expected:.1} ns"
+    );
+}
+
+#[test]
+fn relative_utilization_drops_despite_higher_traffic() {
+    let base = run(SystemConfig::ddr_baseline(), "kmeans");
+    let coax = run(SystemConfig::coaxial_4x(), "kmeans");
+    assert!(coax.bandwidth_gbs > base.bandwidth_gbs, "absolute traffic grows");
+    assert!(coax.utilization < base.utilization, "relative utilization drops");
+}
+
+#[test]
+fn asym_beats_symmetric_for_read_heavy_workloads() {
+    let base = run(SystemConfig::ddr_baseline(), "PageRank");
+    let c4 = run(SystemConfig::coaxial_4x(), "PageRank");
+    let ca = run(SystemConfig::coaxial_asym(), "PageRank");
+    assert!(
+        ca.speedup_over(&base) > c4.speedup_over(&base),
+        "asym {:.2} must beat 4x {:.2}",
+        ca.speedup_over(&base),
+        c4.speedup_over(&base)
+    );
+}
+
+#[test]
+fn higher_cxl_latency_reduces_speedup() {
+    let base = run(SystemConfig::ddr_baseline(), "Components");
+    let at50 = run(SystemConfig::coaxial_4x(), "Components").speedup_over(&base);
+    let at70 =
+        run(SystemConfig::coaxial_4x().with_cxl_latency_ns(70.0), "Components").speedup_over(&base);
+    let at10 =
+        run(SystemConfig::coaxial_4x().with_cxl_latency_ns(10.0), "Components").speedup_over(&base);
+    assert!(at10 > at50, "10ns {at10:.2} > 50ns {at50:.2}");
+    assert!(at50 > at70, "50ns {at50:.2} > 70ns {at70:.2}");
+}
+
+#[test]
+fn single_core_underutilization_hurts_coaxial() {
+    let base = run(SystemConfig::ddr_baseline().with_active_cores(1), "omnetpp");
+    let coax = run(SystemConfig::coaxial_4x().with_active_cores(1), "omnetpp");
+    assert!(
+        coax.speedup_over(&base) < 1.0,
+        "1-core speedup {:.2} should be a slowdown (paper Fig. 11)",
+        coax.speedup_over(&base)
+    );
+}
+
+#[test]
+fn calm_70_helps_coaxial_more_than_baseline() {
+    let w = "stream-scale";
+    let coax_serial = run(SystemConfig::coaxial_4x().with_calm(CalmPolicy::Serial), w);
+    let coax_calm = run(SystemConfig::coaxial_4x(), w);
+    let gain = coax_calm.speedup_over(&coax_serial);
+    assert!(gain > 1.0, "CALM must help COAXIAL on a high-miss-ratio stream: {gain:.3}");
+}
+
+#[test]
+fn full_runs_are_bit_deterministic() {
+    let a = run(SystemConfig::coaxial_asym(), "masstree");
+    let b = run(SystemConfig::coaxial_asym(), "masstree");
+    assert_eq!(a.ipc, b.ipc);
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.hier.mem_reads, b.hier.mem_reads);
+    assert_eq!(a.hier.mem_writes, b.hier.mem_writes);
+    assert_eq!(a.calm.decisions(), b.calm.decisions());
+}
+
+#[test]
+fn all_five_configurations_run_every_suite_representative() {
+    // One workload per suite through every configuration: a broad smoke
+    // test that the whole matrix is wired correctly.
+    for name in ["lbm", "BFS", "stream-copy", "canneal", "masstree"] {
+        for cfg in [
+            SystemConfig::ddr_baseline(),
+            SystemConfig::coaxial_2x(),
+            SystemConfig::coaxial_4x(),
+            SystemConfig::coaxial_5x(),
+            SystemConfig::coaxial_asym(),
+        ] {
+            let w = Workload::by_name(name).unwrap();
+            let r = Simulation::new(cfg, w).instructions_per_core(2_000).warmup(500).run();
+            assert!(r.ipc > 0.0, "{name} produced no progress");
+            assert!(r.ipc <= 4.0, "{name} exceeded the 4-wide limit");
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Cross-crate accounting invariants, checked over full-system runs.
+//!
+//! These assert that the statistics the experiments report are internally
+//! consistent — every cycle of L2-miss latency is attributed to exactly
+//! one component, every memory read has a reason, and CALM decision
+//! counters tie out with traffic counters.
+
+use coaxial::system::{RunReport, Simulation, SystemConfig};
+use coaxial::workloads::Workload;
+
+fn run(cfg: SystemConfig, workload: &str) -> RunReport {
+    let w = Workload::by_name(workload).expect("workload exists");
+    Simulation::new(cfg, w).instructions_per_core(8_000).warmup(1_500).run()
+}
+
+fn check_invariants(r: &RunReport, tag: &str) {
+    // Every L2 miss is either an LLC hit or an LLC miss.
+    assert_eq!(
+        r.hier.llc_hits + r.hier.llc_misses,
+        r.hier.l2_misses,
+        "{tag}: LLC outcome accounting"
+    );
+    // Demand reads = LLC misses + wasted CALM fetches (modulo requests
+    // still in flight at harvest).
+    let expected = r.hier.llc_misses + r.hier.wasted_mem_reads;
+    let slack = 64; // in-flight transactions at the window edge
+    assert!(
+        r.hier.mem_reads <= expected + slack && r.hier.mem_reads + slack >= expected,
+        "{tag}: mem_reads {} vs llc_misses+wasted {}",
+        r.hier.mem_reads,
+        expected
+    );
+    // Latency components are non-negative and sum to the histogram mean.
+    let (on, q, s, x) = r.breakdown_ns;
+    for (name, v) in [("onchip", on), ("queue", q), ("dram", s), ("cxl", x)] {
+        assert!(v >= 0.0, "{tag}: negative {name} component: {v}");
+    }
+    let total = on + q + s + x;
+    assert!(
+        (total - r.l2_miss_latency_ns).abs() < 2.0,
+        "{tag}: components {total:.1} != mean {:.1}",
+        r.l2_miss_latency_ns
+    );
+    // CALM decision counters tie out with traffic (a handful of decided-
+    // but-not-yet-issued fetches may remain in flight at harvest).
+    // (decisions and issues can each straddle the warmup boundary, in
+    // either direction, by at most the in-flight window)
+    assert!(
+        r.calm.false_pos.abs_diff(r.hier.wasted_mem_reads) <= 64,
+        "{tag}: false positives {} vs wasted fetches {}",
+        r.calm.false_pos,
+        r.hier.wasted_mem_reads
+    );
+    assert_eq!(r.calm.decisions(), r.hier.l2_misses, "{tag}: one decision per L2 miss");
+    // Bandwidth sanity: cannot exceed the configured peak.
+    assert!(r.utilization <= 1.0 + 1e-9, "{tag}: utilization {} > 1", r.utilization);
+    // DDR-side counts at least cover the hierarchy-issued traffic (the
+    // backend may have absorbed a few more in-flight requests).
+    assert!(
+        r.ddr.reads + 64 >= r.hier.mem_reads,
+        "{tag}: backend saw fewer reads than issued"
+    );
+}
+
+#[test]
+fn invariants_hold_on_baseline() {
+    for w in ["lbm", "gcc", "PageRank", "masstree", "stream-add"] {
+        let r = run(SystemConfig::ddr_baseline(), w);
+        check_invariants(&r, &format!("baseline/{w}"));
+    }
+}
+
+#[test]
+fn invariants_hold_on_coaxial_variants() {
+    for w in ["Components", "mcf", "stream-copy", "kmeans"] {
+        for cfg in
+            [SystemConfig::coaxial_2x(), SystemConfig::coaxial_4x(), SystemConfig::coaxial_asym()]
+        {
+            let tag = format!("{}/{w}", cfg.name);
+            let r = run(cfg, w);
+            check_invariants(&r, &tag);
+        }
+    }
+}
+
+#[test]
+fn serial_policy_never_wastes_bandwidth() {
+    use coaxial::cache::CalmPolicy;
+    let r = run(SystemConfig::coaxial_4x().with_calm(CalmPolicy::Serial), "bwaves");
+    assert_eq!(r.hier.wasted_mem_reads, 0);
+    assert_eq!(r.calm.false_pos + r.calm.true_pos, 0);
+    check_invariants(&r, "serial");
+}
+
+#[test]
+fn ideal_policy_never_mispredicts() {
+    use coaxial::cache::CalmPolicy;
+    let r = run(SystemConfig::coaxial_4x().with_calm(CalmPolicy::Ideal), "fotonik3d");
+    assert_eq!(r.calm.false_pos, 0, "oracle has no false positives");
+    assert_eq!(r.calm.false_neg, 0, "oracle has no false negatives");
+    check_invariants(&r, "ideal");
+}
+
+#[test]
+fn mixes_preserve_invariants() {
+    let mix = coaxial::workloads::mixes::mix(3, 12);
+    let r = Simulation::new_mix(SystemConfig::coaxial_4x(), &mix)
+        .instructions_per_core(4_000)
+        .warmup(800)
+        .run();
+    check_invariants(&r, "mix-3");
+    assert_eq!(r.per_core_ipc.len(), 12);
+    assert!(r.per_core_ipc.iter().all(|&i| i > 0.0));
+}

@@ -1,0 +1,175 @@
+//! Stress and failure-injection tests: tiny queues, hostile traffic, and
+//! degenerate configurations must never deadlock or corrupt accounting.
+
+use coaxial::dram::{DramConfig, MemRequest, MemoryBackend, MultiChannel};
+use coaxial::cxl::{CxlLinkConfig, CxlMemory};
+use coaxial::system::{Simulation, SystemConfig};
+use coaxial::workloads::Workload;
+
+/// A DRAM configuration with pathologically small queues: maximum
+/// back-pressure on every path.
+fn tiny_dram() -> DramConfig {
+    DramConfig {
+        read_queue_depth: 2,
+        write_queue_depth: 2,
+        write_drain_hi: 2,
+        write_drain_lo: 0,
+        ..DramConfig::ddr5_4800()
+    }
+}
+
+#[test]
+fn tiny_queues_do_not_deadlock_direct_ddr() {
+    let mut m = MultiChannel::new(tiny_dram(), 1);
+    let mut issued = 0u64;
+    let mut done = 0u64;
+    let total = 500u64;
+    for now in 0..3_000_000u64 {
+        m.tick(now);
+        while issued < total {
+            let req = if issued.is_multiple_of(3) {
+                MemRequest::write(issued, issued * 977, now)
+            } else {
+                MemRequest::read(issued, issued * 977, now)
+            };
+            if m.try_enqueue(req).is_err() {
+                break;
+            }
+            issued += 1;
+        }
+        while m.pop_response(now).is_some() {
+            done += 1;
+        }
+        if done == total {
+            break;
+        }
+    }
+    assert_eq!(done, total, "all requests must complete under tiny queues");
+}
+
+#[test]
+fn tiny_queues_do_not_deadlock_cxl() {
+    let link = CxlLinkConfig { req_queue_depth: 2, device_buf_depth: 1, ..CxlLinkConfig::x8_symmetric() };
+    let mut m = CxlMemory::new(link, tiny_dram(), 2);
+    let mut issued = 0u64;
+    let mut done = 0u64;
+    let total = 400u64;
+    for now in 0..3_000_000u64 {
+        m.tick(now);
+        while issued < total {
+            let req = if issued.is_multiple_of(4) {
+                MemRequest::write(issued, issued * 1009, now)
+            } else {
+                MemRequest::read(issued, issued * 1009, now)
+            };
+            if m.try_enqueue(req).is_err() {
+                break;
+            }
+            issued += 1;
+        }
+        while m.pop_response(now).is_some() {
+            done += 1;
+        }
+        if done == total {
+            break;
+        }
+    }
+    assert_eq!(done, total, "all requests must complete through a constricted CXL path");
+}
+
+#[test]
+fn full_system_survives_tiny_memory_queues() {
+    let cfg = SystemConfig { dram: tiny_dram(), ..SystemConfig::coaxial_4x() };
+    let w = Workload::by_name("lbm").unwrap();
+    let r = Simulation::new(cfg, w).instructions_per_core(2_000).warmup(300).run();
+    assert!(r.ipc > 0.0, "progress despite extreme back-pressure");
+}
+
+#[test]
+fn single_bank_single_subchannel_still_works() {
+    // Degenerate geometry: one sub-channel, one bank group, one bank.
+    let cfg = DramConfig {
+        subchannels: 1,
+        bank_groups: 1,
+        banks_per_group: 1,
+        ..DramConfig::ddr5_4800()
+    };
+    let mut m = MultiChannel::new(cfg, 1);
+    let mut done = 0;
+    for i in 0..100u64 {
+        m.try_enqueue(MemRequest::read(i, i * 3301, 0)).ok();
+    }
+    for now in 0..2_000_000u64 {
+        m.tick(now);
+        while m.pop_response(now).is_some() {
+            done += 1;
+        }
+    }
+    assert!(done > 0, "single-bank config must make progress");
+}
+
+#[test]
+fn pathological_same_row_thrash_completes() {
+    // Strictly serialized alternating rows in the same bank: every access
+    // forces a PRE/ACT swing (FR-FCFS cannot batch, because only one
+    // request is ever outstanding).
+    let mut m = MultiChannel::new(DramConfig::ddr5_4800(), 1);
+    let cfg = DramConfig::ddr5_4800();
+    let bank_stride = cfg.lines_per_row() * cfg.banks_per_subchannel() as u64 * 2;
+    let mut issued = 0u64;
+    let mut done = 0u64;
+    let mut outstanding = false;
+    for now in 0..5_000_000u64 {
+        m.tick(now);
+        if !outstanding && issued < 300 {
+            let row = issued % 2;
+            if m.try_enqueue(MemRequest::read(issued, row * bank_stride, now)).is_ok() {
+                issued += 1;
+                outstanding = true;
+            }
+        }
+        if m.pop_response(now).is_some() {
+            done += 1;
+            outstanding = false;
+        }
+        if done == 300 {
+            break;
+        }
+    }
+    assert_eq!(done, 300);
+    let st = m.stats();
+    // With one request outstanding at a time the idle-precharge policy
+    // closes the row between accesses, so the ping-pong shows up as
+    // closed-bank misses (or conflicts when the PRE hasn't happened yet) —
+    // and crucially, almost never as row hits.
+    assert!(st.row_hits < 10, "ping-pong cannot produce row hits, got {}", st.row_hits);
+    assert!(
+        st.row_misses + st.row_conflicts > 290,
+        "every access pays an activation: misses {} conflicts {}",
+        st.row_misses,
+        st.row_conflicts
+    );
+}
+
+#[test]
+fn zero_warmup_runs_cleanly() {
+    let w = Workload::by_name("BFS").unwrap();
+    let r = Simulation::new(SystemConfig::ddr_baseline(), w)
+        .instructions_per_core(3_000)
+        .warmup(0)
+        .run();
+    assert!(r.ipc > 0.0);
+}
+
+#[test]
+fn cycle_cap_terminates_runs() {
+    // A hard cap must end the run even if the budget is unreachable.
+    let w = Workload::by_name("lbm").unwrap();
+    let r = Simulation::new(SystemConfig::ddr_baseline(), w)
+        .instructions_per_core(u64::MAX / 2)
+        .warmup(0)
+        .max_cycles(20_000)
+        .run();
+    assert_eq!(r.cycles, 20_000, "must stop exactly at the cap");
+    assert!(r.ipc > 0.0, "partial progress still reported");
+}
