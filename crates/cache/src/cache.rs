@@ -10,19 +10,26 @@ pub struct Evicted {
     pub dirty: bool,
 }
 
-#[derive(Debug, Clone, Copy, Default)]
-struct Way {
-    tag: u64,
-    valid: bool,
-    dirty: bool,
-    /// LRU stamp: higher = more recently used.
-    stamp: u64,
-}
+/// Tag value marking an empty way. Line addresses are bounded far below
+/// this (a handful of region bits per core), so no real line collides.
+const INVALID_TAG: u64 = u64::MAX;
 
 /// One set-associative tag array.
+///
+/// Stored structure-of-arrays: simulated caches are tens of megabytes of
+/// way state probed at random, so every probe is a *host* cache miss per
+/// touched line. Packing the tags densely (8 B per way, validity encoded
+/// as [`INVALID_TAG`]) makes a 16-way presence scan touch two host lines
+/// instead of six; stamps and dirty bits are only touched on hits, fills,
+/// and evictions.
 #[derive(Debug, Clone)]
 pub struct CacheArray {
-    ways: Vec<Way>, // sets × assoc, row-major
+    /// Way tags, sets × assoc row-major; `INVALID_TAG` = empty way.
+    tags: Vec<u64>,
+    /// LRU stamps, parallel to `tags`: higher = more recently used.
+    stamps: Vec<u64>,
+    /// Dirty bits, parallel to `tags`.
+    dirty: Vec<bool>,
     assoc: usize,
     set_shift: u32, // unused bits below the set index (0: input is a line addr)
     set_mask: u64,
@@ -41,8 +48,11 @@ impl CacheArray {
         assert!(lines >= assoc as u64, "capacity too small for associativity");
         let sets = lines / assoc as u64;
         assert!(sets.is_power_of_two(), "sets must be a power of two (got {sets})");
+        let ways = (sets * assoc as u64) as usize;
         Self {
-            ways: vec![Way::default(); (sets * assoc as u64) as usize],
+            tags: vec![INVALID_TAG; ways],
+            stamps: vec![0; ways],
+            dirty: vec![false; ways],
             assoc,
             set_shift: 0,
             set_mask: sets - 1,
@@ -57,7 +67,7 @@ impl CacheArray {
     }
 
     pub fn capacity_bytes(&self) -> u64 {
-        self.ways.len() as u64 * 64
+        self.tags.len() as u64 * 64
     }
 
     #[inline]
@@ -66,34 +76,38 @@ impl CacheArray {
         set * self.assoc..(set + 1) * self.assoc
     }
 
+    /// Index of the way holding `line_addr`, if present.
+    #[inline]
+    fn probe(&self, line_addr: u64) -> Option<usize> {
+        debug_assert_ne!(line_addr, INVALID_TAG);
+        let r = self.set_range(line_addr);
+        self.tags[r.clone()].iter().position(|&t| t == line_addr).map(|p| r.start + p)
+    }
+
     /// Look up a line; updates LRU and hit/miss counters on a demand access.
     #[inline]
     pub fn lookup(&mut self, line_addr: u64) -> bool {
         self.clock += 1;
-        let r = self.set_range(line_addr);
-        for w in &mut self.ways[r] {
-            if w.valid && w.tag == line_addr {
-                w.stamp = self.clock;
-                self.hits += 1;
-                return true;
-            }
+        if let Some(i) = self.probe(line_addr) {
+            self.stamps[i] = self.clock;
+            self.hits += 1;
+            true
+        } else {
+            self.misses += 1;
+            false
         }
-        self.misses += 1;
-        false
     }
 
     /// Non-destructive presence check (no LRU update, no counters). Used by
     /// the CALM oracle and by coherence assertions in tests.
     #[inline]
     pub fn peek(&self, line_addr: u64) -> bool {
-        let r = self.set_range(line_addr);
-        self.ways[r].iter().any(|w| w.valid && w.tag == line_addr)
+        self.probe(line_addr).is_some()
     }
 
     /// Whether a present line is dirty.
     pub fn peek_dirty(&self, line_addr: u64) -> bool {
-        let r = self.set_range(line_addr);
-        self.ways[r].iter().any(|w| w.valid && w.tag == line_addr && w.dirty)
+        self.probe(line_addr).is_some_and(|i| self.dirty[i])
     }
 
     /// Insert (or refresh) a line; returns the victim if a valid line was
@@ -101,61 +115,85 @@ impl CacheArray {
     /// updated and no eviction happens.
     pub fn fill(&mut self, line_addr: u64, dirty: bool) -> Option<Evicted> {
         self.clock += 1;
-        let range = self.set_range(line_addr);
         // Already present: refresh.
-        for w in &mut self.ways[range.clone()] {
-            if w.valid && w.tag == line_addr {
-                w.stamp = self.clock;
-                w.dirty |= dirty;
-                return None;
-            }
+        if let Some(i) = self.probe(line_addr) {
+            self.stamps[i] = self.clock;
+            self.dirty[i] |= dirty;
+            return None;
         }
-        // Choose an invalid way or the LRU victim.
+        self.insert(self.set_range(line_addr), line_addr, dirty)
+    }
+
+    /// [`CacheArray::fill`] for a line the caller has already proven absent
+    /// (e.g. via [`CacheArray::peek`]): skips the presence scan but matches
+    /// `fill`'s state transitions exactly, including the LRU clock advance.
+    /// The prefill fast path leans on this to halve its tag-scan work.
+    pub fn fill_absent(&mut self, line_addr: u64, dirty: bool) -> Option<Evicted> {
+        debug_assert!(!self.peek(line_addr), "fill_absent on a present line");
+        self.clock += 1;
+        let range = self.set_range(line_addr);
+        self.insert(range, line_addr, dirty)
+    }
+
+    /// Choose an invalid way or the LRU victim in `range` and install the
+    /// line there, stamped with the current clock.
+    #[inline]
+    fn insert(&mut self, range: std::ops::Range<usize>, line_addr: u64, dirty: bool) -> Option<Evicted> {
         let mut victim = range.start;
         let mut best = u64::MAX;
         for i in range {
-            let w = &self.ways[i];
-            if !w.valid {
+            if self.tags[i] == INVALID_TAG {
                 victim = i;
                 break;
             }
-            if w.stamp < best {
-                best = w.stamp;
+            if self.stamps[i] < best {
+                best = self.stamps[i];
                 victim = i;
             }
         }
-        let w = &mut self.ways[victim];
-        let evicted = if w.valid {
-            Some(Evicted { line_addr: w.tag, dirty: w.dirty })
+        let evicted = if self.tags[victim] != INVALID_TAG {
+            Some(Evicted { line_addr: self.tags[victim], dirty: self.dirty[victim] })
         } else {
             None
         };
-        *w = Way { tag: line_addr, valid: true, dirty, stamp: self.clock };
+        self.tags[victim] = line_addr;
+        self.stamps[victim] = self.clock;
+        self.dirty[victim] = dirty;
         evicted
+    }
+
+    /// Functional-warmup accessor: one scan that answers "present?" and, for
+    /// a present line, ORs in `dirty`. Equivalent to `peek` followed by a
+    /// conditional `mark_dirty`, with neither LRU nor counter updates —
+    /// prefill is functional, not timed.
+    #[inline]
+    pub fn prefill_touch(&mut self, line_addr: u64, dirty: bool) -> bool {
+        if let Some(i) = self.probe(line_addr) {
+            self.dirty[i] |= dirty;
+            true
+        } else {
+            false
+        }
     }
 
     /// Mark a present line dirty; returns whether the line was found.
     pub fn mark_dirty(&mut self, line_addr: u64) -> bool {
-        let r = self.set_range(line_addr);
-        for w in &mut self.ways[r] {
-            if w.valid && w.tag == line_addr {
-                w.dirty = true;
-                return true;
-            }
+        if let Some(i) = self.probe(line_addr) {
+            self.dirty[i] = true;
+            true
+        } else {
+            false
         }
-        false
     }
 
     /// Remove a line; returns its dirty bit if it was present.
     pub fn invalidate(&mut self, line_addr: u64) -> Option<bool> {
-        let r = self.set_range(line_addr);
-        for w in &mut self.ways[r] {
-            if w.valid && w.tag == line_addr {
-                w.valid = false;
-                return Some(w.dirty);
-            }
+        if let Some(i) = self.probe(line_addr) {
+            self.tags[i] = INVALID_TAG;
+            Some(self.dirty[i])
+        } else {
+            None
         }
-        None
     }
 
     /// Demand hit ratio so far.
@@ -170,12 +208,35 @@ impl CacheArray {
 
     /// Number of valid dirty lines currently resident (debug/test aid).
     pub fn dirty_count(&self) -> usize {
-        self.ways.iter().filter(|w| w.valid && w.dirty).count()
+        self.tags.iter().zip(&self.dirty).filter(|(&t, &d)| t != INVALID_TAG && d).count()
     }
 
     /// Number of valid lines currently resident (debug/test aid).
     pub fn valid_count(&self) -> usize {
-        self.ways.iter().filter(|w| w.valid).count()
+        self.tags.iter().filter(|&&t| t != INVALID_TAG).count()
+    }
+
+    /// Hint the host CPU to pull this line's tag set into its cache. Purely
+    /// a performance hint for pipelined probes (the simulated arrays are
+    /// tens of megabytes, so a random probe is a host memory miss); touches
+    /// no simulated state.
+    #[inline]
+    pub fn prefetch_set(&self, line_addr: u64) {
+        #[cfg(target_arch = "x86_64")]
+        {
+            let r = self.set_range(line_addr);
+            unsafe {
+                use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+                let p = self.tags.as_ptr().add(r.start).cast::<i8>();
+                _mm_prefetch(p, _MM_HINT_T0);
+                if self.assoc > 8 {
+                    // A 16-way tag set spans two host lines.
+                    _mm_prefetch(p.add(64), _MM_HINT_T0);
+                }
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = line_addr;
     }
 
     /// Reset hit/miss counters (end of warmup) without touching contents.

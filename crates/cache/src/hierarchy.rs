@@ -213,6 +213,15 @@ struct Finish {
     txn: u32,
 }
 
+/// Warmed cache-array contents captured after a functional prefill; see
+/// [`Hierarchy::export_prefill_state`].
+#[derive(Clone)]
+pub struct PrefillState {
+    l1: Vec<CacheArray>,
+    l2: Vec<CacheArray>,
+    llc: Vec<CacheArray>,
+}
+
 /// The hierarchy, generic over the memory backend.
 pub struct Hierarchy<B: MemoryBackend> {
     cfg: HierarchyConfig,
@@ -563,24 +572,84 @@ impl<B: MemoryBackend> Hierarchy<B> {
     /// realistic steady state — dirty lines resident and ready to spill —
     /// standing in for the paper's 50 M-instruction warmup. Call
     /// [`Hierarchy::finish_prefill`] when done.
+    ///
+    /// This is the hottest function of a short run by far (the prefill
+    /// streams a multiple of the LLC capacity through the arrays), so every
+    /// level is probed exactly once: `prefill_touch` merges the presence
+    /// check with the dirty-bit update, and the `*_absent` fills skip the
+    /// presence scan a failed probe already paid for. State transitions are
+    /// identical to the naive peek/mark_dirty/fill sequence.
     pub fn prefill_access(&mut self, core: u32, line: u64, is_write: bool) {
         let c = core as usize;
-        if self.l1[c].peek(line) {
-            if is_write {
-                self.l1[c].mark_dirty(line);
-            }
+        if self.l1[c].prefill_touch(line, is_write) {
             return;
         }
-        if !self.l2[c].peek(line) {
+        if !self.l2[c].prefill_touch(line, is_write) {
             let bank = self.llc_bank(line);
             if !self.llc[bank].peek(line) {
-                self.fill_llc_clean(line);
+                // Clean fill of a line absent from the LLC bank.
+                if let Some(ev) = self.llc[bank].fill_absent(line, false) {
+                    if ev.dirty {
+                        self.writeback_queue.push_back(ev.line_addr);
+                    }
+                }
             }
-            self.fill_l2(c, line, is_write);
-        } else if is_write {
-            self.l2[c].mark_dirty(line);
+            // Absent from the L2 (probe above); victims spill as usual.
+            if let Some(ev) = self.l2[c].fill_absent(line, is_write) {
+                if ev.dirty {
+                    self.spill_to_llc(ev.line_addr);
+                }
+            }
         }
-        self.fill_l1(c, line, is_write);
+        // Absent from the L1 (first probe).
+        if let Some(ev) = self.l1[c].fill_absent(line, is_write) {
+            if ev.dirty {
+                if let Some(ev2) = self.l2[c].fill(ev.line_addr, true) {
+                    if ev2.dirty {
+                        self.spill_to_llc(ev2.line_addr);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Snapshot of the warmed cache arrays after a functional prefill.
+    ///
+    /// The prefill's result depends only on the access streams and the array
+    /// geometry — not on the memory backend or timing configuration — so a
+    /// driver sweeping one workload over several memory systems can export
+    /// the state once and [`Hierarchy::import_prefill_state`] it into the
+    /// siblings instead of re-streaming the working set. Importing produces
+    /// exactly the state a fresh prefill would have (clock included), so
+    /// simulation results are bit-identical either way.
+    pub fn export_prefill_state(&self) -> PrefillState {
+        PrefillState { l1: self.l1.clone(), l2: self.l2.clone(), llc: self.llc.clone() }
+    }
+
+    /// Restore a snapshot taken by [`Hierarchy::export_prefill_state`] on a
+    /// hierarchy with identical array geometry.
+    pub fn import_prefill_state(&mut self, state: &PrefillState) {
+        assert_eq!(self.l1.len(), state.l1.len(), "prefill state: core count mismatch");
+        assert_eq!(
+            self.llc.first().map(CacheArray::capacity_bytes),
+            state.llc.first().map(CacheArray::capacity_bytes),
+            "prefill state: LLC geometry mismatch"
+        );
+        self.l1.clone_from(&state.l1);
+        self.l2.clone_from(&state.l2);
+        self.llc.clone_from(&state.llc);
+    }
+
+    /// Host-prefetch the tag sets [`Hierarchy::prefill_access`] would probe
+    /// for `(core, line)`. Purely a performance hint: issued a few accesses
+    /// ahead, it overlaps the host memory misses the probes would otherwise
+    /// serialize on. Touches no simulated state.
+    #[inline]
+    pub fn prefill_prefetch(&self, core: u32, line: u64) {
+        let c = core as usize;
+        self.l1[c].prefetch_set(line);
+        self.l2[c].prefetch_set(line);
+        self.llc[self.llc_bank(line)].prefetch_set(line);
     }
 
     /// Drop the writebacks generated during prefill and clear the lookup
@@ -724,6 +793,27 @@ impl<B: MemoryBackend> Hierarchy<B> {
     /// Pop one completion: `(core, access_id)`.
     pub fn pop_completion(&mut self) -> Option<(u32, AccessId)> {
         self.completed.pop_front()
+    }
+
+    /// Earliest future cycle at which ticking the hierarchy could do
+    /// observable work, assuming no new accesses are issued and `completed`
+    /// has been drained: the earliest pending issue/finish event or backend
+    /// activity. Any undrained queue pins the bound to `now + 1`.
+    pub fn next_event(&self, now: Cycle) -> Cycle {
+        if !self.completed.is_empty()
+            || !self.issue_queue.is_empty()
+            || !self.writeback_queue.is_empty()
+        {
+            return now + 1;
+        }
+        let mut next = self.backend.next_event(now);
+        if let Some(&Reverse(ev)) = self.issue_events.peek() {
+            next = next.min(ev.at.max(now + 1));
+        }
+        if let Some(&Reverse(f)) = self.finish_events.peek() {
+            next = next.min(f.at.max(now + 1));
+        }
+        next
     }
 
     /// Harvest statistics (L1/L2 ratios computed at call time).

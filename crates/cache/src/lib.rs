@@ -22,7 +22,7 @@ pub mod prefetch;
 
 pub use cache::CacheArray;
 pub use calm::{CalmEngine, CalmPolicy, CalmStats};
-pub use hierarchy::{AccessId, HierStats, Hierarchy, HierarchyConfig};
+pub use hierarchy::{AccessId, HierStats, Hierarchy, HierarchyConfig, PrefillState};
 pub use mshr::Mshr;
 pub use noc::Mesh;
 pub use prefetch::{PrefetchPolicy, PrefetchStats};

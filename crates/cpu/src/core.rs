@@ -309,6 +309,40 @@ impl Core {
         }
     }
 
+    /// If the core is fully blocked — ROB head is an unfinished memory op,
+    /// the ROB is full (no dispatch possible), and no waiting op within the
+    /// issue window is ready — return the earliest cycle something could
+    /// change *from the core's own state* (its next scheduled cache-hit
+    /// completion; `Cycle::MAX` if none). Returns `None` when the core could
+    /// retire, dispatch, or issue on the next cycle.
+    ///
+    /// While blocked, a tick does exactly `cycles += 1; stall_cycles += 1`
+    /// and nothing else, which is what [`Core::fast_forward`] replays — the
+    /// pair is what lets the system driver skip quiescent cycles with
+    /// bit-identical statistics.
+    pub fn next_event(&self) -> Option<Cycle> {
+        match self.rob.front() {
+            Some(Entry::Mem { done: false }) => {}
+            _ => return None, // retirable head or empty ROB
+        }
+        if self.rob_instrs < self.params.rob_size {
+            return None; // dispatch would make progress
+        }
+        let window = self.waiting.len().min(self.params.issue_window);
+        for op in self.waiting.iter().take(window) {
+            if op.dep.is_none_or(|d| self.entry_done(d)) {
+                return None; // a ready op would issue
+            }
+        }
+        Some(self.scheduled.peek().map_or(Cycle::MAX, |&Reverse((at, _))| at))
+    }
+
+    /// Account `skipped` fully-blocked cycles (see [`Core::next_event`]).
+    pub fn fast_forward(&mut self, skipped: u64) {
+        self.cycles += skipped;
+        self.stall_cycles += skipped;
+    }
+
     /// Outstanding memory accesses (test/debug aid).
     pub fn inflight(&self) -> usize {
         self.outstanding.len()

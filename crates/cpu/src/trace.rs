@@ -66,6 +66,20 @@ impl TraceOp {
 /// An infinite source of trace records (one per core).
 pub trait TraceSource {
     fn next_op(&mut self) -> TraceOp;
+
+    /// The next op reduced to `(line address, is-store)`, advancing the
+    /// generator state exactly as [`TraceSource::next_op`] would.
+    ///
+    /// The functional cache prefill discards everything except the address
+    /// and the store bit, so generators whose gap sampling is expensive
+    /// (exponential inter-arrival draws go through `ln`/`round`) override
+    /// this to consume the same random draws while skipping that math. An
+    /// override MUST leave the generator in the state `next_op` would have
+    /// — the two are interchangeable call-for-call.
+    fn next_access(&mut self) -> (u64, bool) {
+        let op = self.next_op();
+        (op.line_addr, op.kind == MemKind::Store)
+    }
 }
 
 /// A trace that replays a fixed vector of records forever. Mostly useful

@@ -262,6 +262,34 @@ impl CxlChannel {
     pub fn credits(&self) -> usize {
         self.credits
     }
+
+    /// Earliest future cycle at which ticking this channel could do
+    /// observable work, assuming no new requests arrive and `delivered` has
+    /// been drained. Mirrors the tick pipeline stage by stage: device DDR
+    /// events, RX serializer start, in-flight arrivals, credit returns, and
+    /// TX serializer start.
+    pub fn next_event(&self, now: Cycle) -> Cycle {
+        let mut next = self.ddr.iter().map(|d| d.next_event(now)).min().unwrap_or(Cycle::MAX);
+        if !self.resp_wait.is_empty() {
+            next = next.min(self.rx_free_at.max(now + 1));
+        }
+        if let Some(f) = self.rx_in_flight.front() {
+            next = next.min(f.arrives_at.max(now + 1));
+        }
+        if let Some(&at) = self.credit_returns.front() {
+            next = next.min(at.max(now + 1));
+        }
+        if !self.req_queue.is_empty() && self.credits > 0 {
+            next = next.min(self.tx_free_at.max(now + 1));
+        }
+        if let Some(f) = self.tx_in_flight.front() {
+            next = next.min(f.arrives_at.max(now + 1));
+        }
+        if !self.device_buf.is_empty() || !self.delivered.is_empty() {
+            next = next.min(now + 1);
+        }
+        next
+    }
 }
 
 #[cfg(test)]

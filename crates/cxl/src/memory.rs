@@ -113,6 +113,10 @@ impl MemoryBackend for CxlMemory {
     fn link_utilization(&self) -> Option<(f64, f64)> {
         Some(CxlMemory::link_utilization(self))
     }
+
+    fn next_event(&self, now: Cycle) -> Cycle {
+        self.channels.iter().map(|c| c.next_event(now)).min().unwrap_or(now + 1)
+    }
 }
 
 #[cfg(test)]

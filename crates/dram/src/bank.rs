@@ -111,6 +111,11 @@ impl Bank {
         self.earliest_act = self.earliest_act.max(ready);
     }
 
+    /// Earliest cycle at which a CAS may issue (row must already match).
+    pub fn earliest_cas(&self) -> Cycle {
+        self.earliest_cas
+    }
+
     /// Earliest cycle at which a PRE may issue.
     pub fn earliest_pre(&self) -> Cycle {
         self.earliest_pre

@@ -248,6 +248,10 @@ impl MemoryBackend for Channel {
     fn peak_bandwidth_gbs(&self) -> f64 {
         self.cfg.peak_bandwidth_gbs()
     }
+
+    fn next_event(&self, now: Cycle) -> Cycle {
+        self.subs.iter().map(|s| s.next_event(now)).min().unwrap_or(now + 1)
+    }
 }
 
 #[cfg(test)]

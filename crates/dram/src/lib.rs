@@ -64,6 +64,15 @@ pub trait MemoryBackend {
     fn link_utilization(&self) -> Option<(f64, f64)> {
         None
     }
+
+    /// Earliest future cycle at which this backend could do observable work
+    /// (pop a completion, hit a refresh deadline, move a queued request, ...),
+    /// given no new requests arrive. A lower bound: ticking the backend on
+    /// every cycle in `(now, next_event(now))` must be a no-op. Backends that
+    /// cannot prove quiescence return `now + 1` (never skip).
+    fn next_event(&self, _now: Cycle) -> Cycle {
+        _now + 1
+    }
 }
 
 impl<T: MemoryBackend + ?Sized> MemoryBackend for Box<T> {
@@ -90,5 +99,8 @@ impl<T: MemoryBackend + ?Sized> MemoryBackend for Box<T> {
     }
     fn link_utilization(&self) -> Option<(f64, f64)> {
         (**self).link_utilization()
+    }
+    fn next_event(&self, now: Cycle) -> Cycle {
+        (**self).next_event(now)
     }
 }

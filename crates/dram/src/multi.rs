@@ -92,6 +92,10 @@ impl MemoryBackend for MultiChannel {
     fn peak_bandwidth_gbs(&self) -> f64 {
         self.peak_bandwidth_gbs()
     }
+
+    fn next_event(&self, now: Cycle) -> Cycle {
+        self.channels.iter().map(|c| MemoryBackend::next_event(c, now)).min().unwrap_or(now + 1)
+    }
 }
 
 #[cfg(test)]

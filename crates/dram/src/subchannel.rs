@@ -324,41 +324,42 @@ impl SubChannel {
         }
     }
 
-    /// Channel-level legality of a CAS at `now` for `bank_group`/`is_write`.
-    fn cas_legal(&self, bank_group: usize, is_write: bool, now: Cycle) -> bool {
+    /// Earliest cycle at which the *channel-level* CAS constraints allow a
+    /// CAS for `bank_group`/`is_write`. All constraints are thresholds
+    /// against fixed timestamps, so this is exact while no command issues.
+    fn cas_legal_at(&self, bank_group: usize, is_write: bool) -> Cycle {
         let t = &self.cfg.timings;
+        let mut at: Cycle = 0;
         // CAS-to-CAS spacing.
-        if let Some((at, bg)) = self.last_cas_at {
-            let gap = if bg == bank_group { t.t_ccd_l } else { t.t_ccd_s };
-            if now < at + gap {
-                return false;
-            }
+        if let Some((c, bg)) = self.last_cas_at {
+            at = at.max(c + if bg == bank_group { t.t_ccd_l } else { t.t_ccd_s });
         }
         if is_write {
             // Read-to-write turnaround: the write burst must start after the
             // read burst clears the bus plus a turnaround bubble.
             if let Some(rd_at) = self.last_read_cas {
-                let min = (rd_at + t.cl + t.t_burst + t.t_turnaround).saturating_sub(t.cwl);
-                if now < min {
-                    return false;
-                }
+                at = at.max((rd_at + t.cl + t.t_burst + t.t_turnaround).saturating_sub(t.cwl));
             }
         } else if let Some((wr_at, wr_bg)) = self.last_write_cas {
             // Write-to-read: tWTR measured from end of write data.
             let wtr = if wr_bg == bank_group { t.t_wtr_l } else { t.t_wtr_s };
-            if now < wr_at + t.cwl + t.t_burst + wtr {
-                return false;
-            }
+            at = at.max(wr_at + t.cwl + t.t_burst + wtr);
         }
         // Data bus occupancy (safety net; the spacing rules above normally
-        // guarantee this).
-        let data_start = now + if is_write { t.cwl } else { t.cl };
+        // guarantee this): data_start = now + CL/CWL must not precede the
+        // bus becoming free (plus a turnaround on direction change).
+        let lat = if is_write { t.cwl } else { t.cl };
         let need = if self.bus_dir_write != is_write {
             self.bus_free_at + t.t_turnaround
         } else {
             self.bus_free_at
         };
-        data_start >= need
+        at.max(need.saturating_sub(lat))
+    }
+
+    /// Channel-level legality of a CAS at `now` for `bank_group`/`is_write`.
+    fn cas_legal(&self, bank_group: usize, is_write: bool, now: Cycle) -> bool {
+        now >= self.cas_legal_at(bank_group, is_write)
     }
 
     /// FR-FCFS first pass: issue a CAS for the oldest row-hit in the chosen
@@ -501,19 +502,99 @@ impl SubChannel {
         bank / self.cfg.banks_per_group
     }
 
+    /// Earliest cycle at which rank-level ACT constraints (tRRD, tFAW)
+    /// allow an ACT for `bank_group`.
+    fn act_legal_at(&self, bank_group: usize) -> Cycle {
+        let t = &self.cfg.timings;
+        let mut at: Cycle = 0;
+        if let Some((c, bg)) = self.last_act {
+            at = at.max(c + if bg == bank_group { t.t_rrd_l } else { t.t_rrd_s });
+        }
+        if self.act_window.len() == 4 {
+            at = at.max(self.act_window[0] + t.t_faw);
+        }
+        at
+    }
+
     /// Rank-level ACT legality: tRRD and tFAW.
     fn act_legal(&self, bank_group: usize, now: Cycle) -> bool {
-        let t = &self.cfg.timings;
-        if let Some((at, bg)) = self.last_act {
-            let gap = if bg == bank_group { t.t_rrd_l } else { t.t_rrd_s };
-            if now < at + gap {
-                return false;
+        now >= self.act_legal_at(bank_group)
+    }
+
+    /// Earliest future cycle at which ticking this sub-channel could do
+    /// observable work, assuming no new requests arrive and all completions
+    /// due by `now` have been popped.
+    ///
+    /// This is a *lower bound*: ticking on every cycle in
+    /// `(now, next_event(now))` is provably a no-op. While no command
+    /// issues, every legality predicate in the scheduler is a threshold
+    /// check against a fixed timestamp (bank timers, tCCD/tRRD/tFAW
+    /// trackers, bus occupancy, refresh deadlines), so the earliest of
+    /// those thresholds bounds the first cycle anything can happen. The
+    /// bound is deliberately conservative where the FR-FCFS pick order
+    /// matters (claimed banks, read/write drain selection): it may name a
+    /// cycle where nothing issues after all, which only ends a skip early.
+    pub fn next_event(&self, now: Cycle) -> Cycle {
+        let mut next = Cycle::MAX;
+        if let Some(&Reverse(c)) = self.completions.peek() {
+            next = next.min(c.done);
+        }
+        if self.refreshing_until > now {
+            // Rank blocked in REFab: nothing issues before it completes.
+            return next.min(self.refreshing_until).max(now + 1);
+        }
+        if self.refresh_pending {
+            // Mid-refresh precharge sequence: one PRE per cycle to the first
+            // open bank (gated on its tRAS/tWR timer), then REFab tRP after
+            // the last PRE.
+            let at = match self.banks.iter().find(|b| b.open_row.is_some()) {
+                Some(b) => b.earliest_pre(),
+                None => self.last_pre_at + self.cfg.timings.t_rp,
+            };
+            return next.min(at).max(now + 1);
+        }
+        next = next.min(self.refresh_due);
+
+        let queued = !self.read_q.is_empty() || !self.write_q.is_empty();
+        if queued {
+            // Earliest cycle any scheduled command could become legal for an
+            // entry in the FR-FCFS window. Scanning both queues regardless
+            // of the drain state only under-estimates (safe).
+            for e in self
+                .read_q
+                .iter()
+                .take(self.cfg.sched_window)
+                .chain(self.write_q.iter().take(self.cfg.sched_window))
+            {
+                let bank = &self.banks[e.addr.bank];
+                let at = match bank.open_row {
+                    // Row hit: CAS gated by the bank timer and channel rules.
+                    Some(r) if r == e.addr.row => bank
+                        .earliest_cas()
+                        .max(self.cas_legal_at(e.addr.bank_group, e.req.is_write)),
+                    // Row conflict: PRE gated by tRAS/tRTP/tWR.
+                    Some(_) => bank.earliest_pre(),
+                    // Closed bank: ACT gated by tRP/tRC and rank rules.
+                    None => bank.earliest_act().max(self.act_legal_at(e.addr.bank_group)),
+                };
+                next = next.min(at);
             }
         }
-        if self.act_window.len() == 4 && now < self.act_window[0] + t.t_faw {
-            return false;
+        // Speculative precharge: Closed policy closes stale rows even with
+        // queued work; OpenAdaptive only when both queues are idle.
+        let may_close = match self.cfg.page_policy {
+            PagePolicy::Open => false,
+            PagePolicy::OpenAdaptive => !queued,
+            PagePolicy::Closed => true,
+        };
+        if may_close {
+            for b in &self.banks {
+                if b.open_row.is_some() {
+                    next = next.min(b.earliest_pre());
+                }
+            }
         }
-        true
+        next.max(now + 1)
     }
 
     /// Zero all statistics (end of warmup). Timing state is untouched.

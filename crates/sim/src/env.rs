@@ -1,0 +1,80 @@
+//! Environment-variable knobs shared across the workspace.
+//!
+//! Every binary, bench, and test honours the same small set of `COAXIAL_*`
+//! variables; this module is the single place that parses them so the
+//! semantics (and the defaults) cannot drift between crates.
+//!
+//! | Variable          | Meaning                                            |
+//! |-------------------|----------------------------------------------------|
+//! | `COAXIAL_INSTR`   | instructions per core in the measured region       |
+//! | `COAXIAL_WARMUP`  | instructions per core of cache/DRAM warmup         |
+//! | `COAXIAL_JOBS`    | worker threads for the parallel experiment runner  |
+//! | `COAXIAL_SKIP`    | `off`/`0`/`false` disables hot-loop cycle skipping |
+
+/// Read a `u64` from the environment, falling back to `default` when the
+/// variable is unset or unparsable.
+pub fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Read a boolean flag from the environment. Unset means `default`;
+/// `0`, `off`, `false`, and `no` (case-insensitive) mean `false`; anything
+/// else present means `true`.
+pub fn env_flag(name: &str, default: bool) -> bool {
+    match std::env::var(name) {
+        Ok(v) => !matches!(v.to_ascii_lowercase().as_str(), "0" | "off" | "false" | "no"),
+        Err(_) => default,
+    }
+}
+
+/// Instructions per core in the measured region (`COAXIAL_INSTR`).
+pub fn instructions(default: u64) -> u64 {
+    env_u64("COAXIAL_INSTR", default)
+}
+
+/// Warmup instructions per core (`COAXIAL_WARMUP`).
+pub fn warmup(default: u64) -> u64 {
+    env_u64("COAXIAL_WARMUP", default)
+}
+
+/// Worker-thread count for the parallel experiment runner (`COAXIAL_JOBS`);
+/// defaults to the host's available parallelism.
+pub fn jobs() -> usize {
+    let default = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    env_u64("COAXIAL_JOBS", default as u64).max(1) as usize
+}
+
+/// Whether the simulation driver may fast-forward quiescent cycles
+/// (`COAXIAL_SKIP`, on by default).
+pub fn cycle_skip() -> bool {
+    env_flag("COAXIAL_SKIP", true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_pass_through() {
+        assert_eq!(env_u64("COAXIAL_TEST_UNSET_VAR", 42), 42);
+        assert!(env_flag("COAXIAL_TEST_UNSET_VAR", true));
+        assert!(!env_flag("COAXIAL_TEST_UNSET_VAR", false));
+    }
+
+    #[test]
+    fn parses_set_values() {
+        // Serialized onto unique var names: tests in one binary share the
+        // process environment.
+        std::env::set_var("COAXIAL_TEST_ENV_U64", "123");
+        assert_eq!(env_u64("COAXIAL_TEST_ENV_U64", 7), 123);
+        std::env::set_var("COAXIAL_TEST_ENV_U64", "not-a-number");
+        assert_eq!(env_u64("COAXIAL_TEST_ENV_U64", 7), 7);
+
+        for off in ["0", "off", "FALSE", "no"] {
+            std::env::set_var("COAXIAL_TEST_ENV_FLAG", off);
+            assert!(!env_flag("COAXIAL_TEST_ENV_FLAG", true));
+        }
+        std::env::set_var("COAXIAL_TEST_ENV_FLAG", "on");
+        assert!(env_flag("COAXIAL_TEST_ENV_FLAG", false));
+    }
+}

@@ -11,8 +11,11 @@
 //! * [`rng`] — a tiny, fast, deterministic RNG (`SplitMix64`),
 //! * [`stats`] — counters, running means, and latency histograms with
 //!   percentile queries,
-//! * [`queue`] — bounded FIFO queues that record occupancy statistics.
+//! * [`queue`] — bounded FIFO queues that record occupancy statistics,
+//! * [`env`] — the shared `COAXIAL_*` environment knobs (budgets, job count,
+//!   cycle-skip toggle).
 
+pub mod env;
 pub mod queue;
 pub mod rng;
 pub mod stats;

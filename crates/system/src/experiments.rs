@@ -5,6 +5,11 @@
 //! runners accept a [`Budget`] so callers can trade fidelity for runtime
 //! (the defaults follow `COAXIAL_INSTR`/`COAXIAL_WARMUP` or the built-in
 //! laptop-scale budget).
+//!
+//! Each runner builds a flat batch of [`RunSpec`]s and dispatches it
+//! through [`crate::runner::run_all`], so independent simulations spread
+//! across host cores (`COAXIAL_JOBS`). Reports come back keyed by spec
+//! index, which keeps every row assembly below deterministic.
 
 use coaxial_cache::CalmPolicy;
 use coaxial_dram::{Channel, DramConfig, MemoryBackend};
@@ -13,6 +18,7 @@ use coaxial_workloads::{mixes, PoissonTraffic, Workload};
 use serde::Serialize;
 
 use crate::config::SystemConfig;
+use crate::runner::{self, RunSpec};
 use crate::server::{RunReport, Simulation};
 
 /// Instruction budget for one run.
@@ -25,14 +31,8 @@ pub struct Budget {
 impl Default for Budget {
     fn default() -> Self {
         Self {
-            instructions: std::env::var("COAXIAL_INSTR")
-                .ok()
-                .and_then(|v| v.parse().ok())
-                .unwrap_or(crate::server::DEFAULT_INSTRUCTIONS),
-            warmup: std::env::var("COAXIAL_WARMUP")
-                .ok()
-                .and_then(|v| v.parse().ok())
-                .unwrap_or(crate::server::DEFAULT_WARMUP),
+            instructions: coaxial_sim::env::instructions(crate::server::DEFAULT_INSTRUCTIONS),
+            warmup: coaxial_sim::env::warmup(crate::server::DEFAULT_WARMUP),
         }
     }
 }
@@ -42,7 +42,15 @@ impl Budget {
         Self { instructions: 6_000, warmup: 1_000 }
     }
 
-    fn run(&self, config: SystemConfig, w: &'static Workload) -> RunReport {
+    /// A [`RunSpec`] for one homogeneous run under this budget.
+    pub fn spec(&self, config: SystemConfig, w: &'static Workload) -> RunSpec {
+        RunSpec::homogeneous(config, w, self.instructions, self.warmup)
+    }
+
+    /// Execute a single homogeneous run inline (no job pool) — handy for
+    /// tests and one-off probes; batch work should go through
+    /// [`crate::runner::run_all`].
+    pub fn run(&self, config: SystemConfig, w: &'static Workload) -> RunReport {
         Simulation::new(config, w)
             .instructions_per_core(self.instructions)
             .warmup(self.warmup)
@@ -64,35 +72,34 @@ pub struct LoadLatencyPoint {
 /// Fig. 2a: drive one DDR5-4800 channel with Poisson random traffic at
 /// each target utilization and measure average and p90 latency.
 pub fn fig2a_load_latency(utilizations: &[f64], horizon_cycles: Cycle) -> Vec<LoadLatencyPoint> {
-    utilizations
-        .iter()
-        .map(|&u| {
-            let mut ch = Channel::new(DramConfig::ddr5_4800());
-            // 2:1 R:W as in the paper's framing of typical traffic.
-            let mut gen = PoissonTraffic::new(u, 38.4, 0.33, 42);
-            let mut backlog: std::collections::VecDeque<_> = Default::default();
-            for now in 0..horizon_cycles {
-                ch.tick(now);
-                backlog.extend(gen.arrivals(now));
-                while let Some(&req) = backlog.front() {
-                    match ch.try_enqueue(req) {
-                        Ok(()) => {
-                            backlog.pop_front();
-                        }
-                        Err(_) => break,
+    // Not a `Simulation`, so this uses the generic map rather than
+    // `run_all`: each utilization point drives its own channel.
+    runner::parallel_map(utilizations, |&u| {
+        let mut ch = Channel::new(DramConfig::ddr5_4800());
+        // 2:1 R:W as in the paper's framing of typical traffic.
+        let mut gen = PoissonTraffic::new(u, 38.4, 0.33, 42);
+        let mut backlog: std::collections::VecDeque<_> = Default::default();
+        for now in 0..horizon_cycles {
+            ch.tick(now);
+            backlog.extend(gen.arrivals(now));
+            while let Some(&req) = backlog.front() {
+                match ch.try_enqueue(req) {
+                    Ok(()) => {
+                        backlog.pop_front();
                     }
+                    Err(_) => break,
                 }
-                while ch.pop_response(now).is_some() {}
             }
-            let st = ch.stats();
-            LoadLatencyPoint {
-                target_utilization: u,
-                achieved_utilization: st.bandwidth_gbs() / 38.4,
-                avg_ns: ch.latency_hist.mean() * coaxial_sim::NS_PER_CYCLE,
-                p90_ns: ch.latency_hist.percentile(90.0) as f64 * coaxial_sim::NS_PER_CYCLE,
-            }
-        })
-        .collect()
+            while ch.pop_response(now).is_some() {}
+        }
+        let st = ch.stats();
+        LoadLatencyPoint {
+            target_utilization: u,
+            achieved_utilization: st.bandwidth_gbs() / 38.4,
+            avg_ns: ch.latency_hist.mean() * coaxial_sim::NS_PER_CYCLE,
+            p90_ns: ch.latency_hist.percentile(90.0) as f64 * coaxial_sim::NS_PER_CYCLE,
+        }
+    })
 }
 
 // ───────────────────────── Fig. 2b / Table IV / Fig. 9 ──────
@@ -114,10 +121,12 @@ pub struct BaselineRow {
 
 /// Figs. 2b & 9 and Table IV all come from baseline runs of every workload.
 pub fn baseline_characterization(budget: Budget) -> Vec<BaselineRow> {
+    let specs: Vec<RunSpec> =
+        Workload::all().iter().map(|w| budget.spec(SystemConfig::ddr_baseline(), w)).collect();
     Workload::all()
         .iter()
-        .map(|w| {
-            let r = budget.run(SystemConfig::ddr_baseline(), w);
+        .zip(runner::run_all(&specs))
+        .map(|(w, r)| {
             BaselineRow {
                 workload: w.name.to_string(),
                 ipc: r.ipc,
@@ -146,11 +155,16 @@ pub struct CompareRow {
 
 /// Run baseline and one COAXIAL config across all workloads.
 pub fn compare_all(coax_cfg: impl Fn() -> SystemConfig, budget: Budget) -> Vec<CompareRow> {
+    let specs: Vec<RunSpec> = Workload::all()
+        .iter()
+        .flat_map(|w| [budget.spec(SystemConfig::ddr_baseline(), w), budget.spec(coax_cfg(), w)])
+        .collect();
+    let mut reports = runner::run_all(&specs).into_iter();
     Workload::all()
         .iter()
         .map(|w| {
-            let base = budget.run(SystemConfig::ddr_baseline(), w);
-            let coax = budget.run(coax_cfg(), w);
+            let base = reports.next().expect("one baseline report per workload");
+            let coax = reports.next().expect("one COAXIAL report per workload");
             CompareRow {
                 workload: w.name.to_string(),
                 speedup: coax.speedup_over(&base),
@@ -206,39 +220,71 @@ pub struct MixRow {
 /// one isolated (single-active-core) run per distinct (workload, system)
 /// pair — cached across mixes.
 pub fn fig6_mixes_full(count: u64, budget: Budget, weighted: bool) -> Vec<MixRow> {
-    use std::collections::HashMap;
-    let mut alone: HashMap<(String, bool), f64> = HashMap::new();
-    let mut alone_ipc = |w: &'static Workload, coax: bool, budget: Budget| -> f64 {
-        *alone.entry((w.name.to_string(), coax)).or_insert_with(|| {
-            let cfg = if coax { SystemConfig::coaxial_4x() } else { SystemConfig::ddr_baseline() };
-            budget.run(cfg.with_active_cores(1), w).ipc
+    use std::collections::{HashMap, HashSet};
+    let mixes_v: Vec<Vec<&'static Workload>> = (0..count).map(|id| mixes::mix(id, 12)).collect();
+
+    // Shared runs: baseline + COAXIAL per mix, one flat batch.
+    let specs: Vec<RunSpec> = mixes_v
+        .iter()
+        .flat_map(|m| {
+            [
+                RunSpec::mix(SystemConfig::ddr_baseline(), m, budget.instructions, budget.warmup),
+                RunSpec::mix(SystemConfig::coaxial_4x(), m, budget.instructions, budget.warmup),
+            ]
         })
+        .collect();
+    let shared = runner::run_all(&specs);
+
+    // Isolated runs for the weighted metric: one per distinct
+    // (workload, system) pair across all mixes, also batched.
+    let alone: HashMap<(&str, bool), f64> = if weighted {
+        let mut seen = HashSet::new();
+        let mut distinct: Vec<(&'static Workload, bool)> = Vec::new();
+        for m in &mixes_v {
+            for &w in m {
+                for coax in [false, true] {
+                    if seen.insert((w.name, coax)) {
+                        distinct.push((w, coax));
+                    }
+                }
+            }
+        }
+        let alone_specs: Vec<RunSpec> = distinct
+            .iter()
+            .map(|&(w, coax)| {
+                let cfg =
+                    if coax { SystemConfig::coaxial_4x() } else { SystemConfig::ddr_baseline() };
+                budget.spec(cfg.with_active_cores(1), w)
+            })
+            .collect();
+        distinct
+            .iter()
+            .zip(runner::run_all(&alone_specs))
+            .map(|(&(w, coax), r)| ((w.name, coax), r.ipc))
+            .collect()
+    } else {
+        HashMap::new()
     };
-    (0..count)
-        .map(|id| {
-            let m = mixes::mix(id, 12);
-            let base = Simulation::new_mix(SystemConfig::ddr_baseline(), &m)
-                .instructions_per_core(budget.instructions)
-                .warmup(budget.warmup)
-                .run();
-            let coax = Simulation::new_mix(SystemConfig::coaxial_4x(), &m)
-                .instructions_per_core(budget.instructions)
-                .warmup(budget.warmup)
-                .run();
+
+    mixes_v
+        .iter()
+        .enumerate()
+        .map(|(i, m)| {
+            let (base, coax) = (&shared[2 * i], &shared[2 * i + 1]);
             let weighted_speedup_ratio = weighted.then(|| {
-                let mut ws = |r: &RunReport, is_coax: bool| -> f64 {
+                let ws = |r: &RunReport, is_coax: bool| -> f64 {
                     r.per_core_ipc
                         .iter()
                         .zip(m.iter())
-                        .map(|(&shared, w)| shared / alone_ipc(w, is_coax, budget).max(1e-9))
+                        .map(|(&shared, w)| shared / alone[&(w.name, is_coax)].max(1e-9))
                         .sum::<f64>()
                 };
-                ws(&coax, true) / ws(&base, false).max(1e-9)
+                ws(coax, true) / ws(base, false).max(1e-9)
             });
             MixRow {
-                mix_id: id,
+                mix_id: i as u64,
                 workloads: m.iter().map(|w| w.name.to_string()).collect(),
-                speedup: coax.speedup_over(&base),
+                speedup: coax.speedup_over(base),
                 weighted_speedup_ratio,
             }
         })
@@ -278,18 +324,34 @@ pub struct CalmRow {
 /// Fig. 7: evaluate every CALM mechanism on both systems for the given
 /// workloads (the paper shows 4 named workloads + the all-36 average).
 pub fn fig7_calm(workload_names: &[&str], budget: Budget) -> Vec<CalmRow> {
-    let mut rows = Vec::new();
     type ConfigFn = fn() -> SystemConfig;
     let systems: [(&str, ConfigFn); 2] = [
         ("baseline", SystemConfig::ddr_baseline as ConfigFn),
         ("COAXIAL", SystemConfig::coaxial_4x as ConfigFn),
     ];
+    let mechs = calm_mechanisms();
+
+    // One serial anchor + every mechanism, per (workload, system) — all
+    // independent, so the whole grid is one batch.
+    let mut specs = Vec::new();
     for name in workload_names {
         let w = Workload::by_name(name).expect("workload exists");
-        for (sys_name, mk) in systems {
-            let serial = budget.run(mk().with_calm(CalmPolicy::Serial), w);
-            for mech in calm_mechanisms() {
-                let r = budget.run(mk().with_calm(mech), w);
+        for (_, mk) in systems {
+            specs.push(budget.spec(mk().with_calm(CalmPolicy::Serial), w));
+            for &mech in &mechs {
+                specs.push(budget.spec(mk().with_calm(mech), w));
+            }
+        }
+    }
+    let mut reports = runner::run_all(&specs).into_iter();
+
+    let mut rows = Vec::new();
+    for name in workload_names {
+        let w = Workload::by_name(name).expect("workload exists");
+        for (sys_name, _) in systems {
+            let serial = reports.next().expect("serial anchor report");
+            for &mech in &mechs {
+                let r = reports.next().expect("mechanism report");
                 rows.push(CalmRow {
                     workload: w.name.to_string(),
                     system: sys_name.to_string(),
@@ -318,20 +380,30 @@ pub struct VariantRow {
 
 /// Fig. 8: COAXIAL-2x / -4x / -asym vs. the DDR baseline.
 pub fn fig8_variants(budget: Budget) -> Vec<VariantRow> {
+    let specs: Vec<RunSpec> = Workload::all()
+        .iter()
+        .flat_map(|w| {
+            [
+                budget.spec(SystemConfig::ddr_baseline(), w),
+                budget.spec(SystemConfig::coaxial_2x(), w),
+                budget.spec(SystemConfig::coaxial_4x(), w),
+                budget.spec(SystemConfig::coaxial_5x(), w),
+                budget.spec(SystemConfig::coaxial_asym(), w),
+            ]
+        })
+        .collect();
+    let reports = runner::run_all(&specs);
     Workload::all()
         .iter()
-        .map(|w| {
-            let base = budget.run(SystemConfig::ddr_baseline(), w);
-            let s2 = budget.run(SystemConfig::coaxial_2x(), w).speedup_over(&base);
-            let s4 = budget.run(SystemConfig::coaxial_4x(), w).speedup_over(&base);
-            let s5 = budget.run(SystemConfig::coaxial_5x(), w).speedup_over(&base);
-            let sa = budget.run(SystemConfig::coaxial_asym(), w).speedup_over(&base);
+        .zip(reports.chunks_exact(5))
+        .map(|(w, rs)| {
+            let base = &rs[0];
             VariantRow {
                 workload: w.name.to_string(),
-                coaxial_2x: s2,
-                coaxial_4x: s4,
-                coaxial_5x: s5,
-                coaxial_asym: sa,
+                coaxial_2x: rs[1].speedup_over(base),
+                coaxial_4x: rs[2].speedup_over(base),
+                coaxial_5x: rs[3].speedup_over(base),
+                coaxial_asym: rs[4].speedup_over(base),
             }
         })
         .collect()
@@ -350,16 +422,27 @@ pub struct LatencyRow {
 /// Fig. 10: COAXIAL-4x speedup under different unloaded CXL latency
 /// budgets (the paper's 50/70 ns, plus §VII's 10 ns OMI projection).
 pub fn fig10_latency_sensitivity(latencies_ns: &[f64], budget: Budget) -> Vec<LatencyRow> {
+    let per_wl = 1 + latencies_ns.len();
+    let specs: Vec<RunSpec> = Workload::all()
+        .iter()
+        .flat_map(|w| {
+            std::iter::once(budget.spec(SystemConfig::ddr_baseline(), w)).chain(
+                latencies_ns.iter().map(move |&ns| {
+                    budget.spec(SystemConfig::coaxial_4x().with_cxl_latency_ns(ns), w)
+                }),
+            )
+        })
+        .collect();
+    let reports = runner::run_all(&specs);
     Workload::all()
         .iter()
-        .map(|w| {
-            let base = budget.run(SystemConfig::ddr_baseline(), w);
+        .zip(reports.chunks_exact(per_wl))
+        .map(|(w, rs)| {
+            let base = &rs[0];
             let speedups = latencies_ns
                 .iter()
-                .map(|&ns| {
-                    let cfg = SystemConfig::coaxial_4x().with_cxl_latency_ns(ns);
-                    (ns, budget.run(cfg, w).speedup_over(&base))
-                })
+                .zip(&rs[1..])
+                .map(|(&ns, r)| (ns, r.speedup_over(base)))
                 .collect();
             LatencyRow { workload: w.name.to_string(), speedups }
         })
@@ -379,16 +462,26 @@ pub struct UtilizationRow {
 /// Fig. 11: vary the number of active cores; normalize COAXIAL to the
 /// baseline *at the same utilization*.
 pub fn fig11_core_utilization(active: &[usize], budget: Budget) -> Vec<UtilizationRow> {
+    let specs: Vec<RunSpec> = Workload::all()
+        .iter()
+        .flat_map(|w| {
+            active.iter().flat_map(move |&n| {
+                [
+                    budget.spec(SystemConfig::ddr_baseline().with_active_cores(n), w),
+                    budget.spec(SystemConfig::coaxial_4x().with_active_cores(n), w),
+                ]
+            })
+        })
+        .collect();
+    let reports = runner::run_all(&specs);
     Workload::all()
         .iter()
-        .map(|w| {
+        .zip(reports.chunks_exact(2 * active.len()))
+        .map(|(w, rs)| {
             let speedups = active
                 .iter()
-                .map(|&n| {
-                    let base = budget.run(SystemConfig::ddr_baseline().with_active_cores(n), w);
-                    let coax = budget.run(SystemConfig::coaxial_4x().with_active_cores(n), w);
-                    (n, coax.speedup_over(&base))
-                })
+                .zip(rs.chunks_exact(2))
+                .map(|(&n, pair)| (n, pair[1].speedup_over(&pair[0])))
                 .collect();
             UtilizationRow { workload: w.name.to_string(), speedups }
         })

@@ -29,7 +29,9 @@ pub mod cost;
 pub mod experiments;
 pub mod pinout;
 pub mod power;
+pub mod runner;
 pub mod server;
 
 pub use config::{MemorySystemKind, SystemConfig};
+pub use runner::{parallel_map, run_all, RunSpec};
 pub use server::{RunReport, Simulation};

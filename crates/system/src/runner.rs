@@ -1,0 +1,175 @@
+//! Parallel experiment runner: a work-stealing job pool for independent
+//! simulations.
+//!
+//! Every figure/table of the evaluation is a batch of *independent*
+//! cycle-level runs (different configs, workloads, or seeds), so the
+//! natural unit of parallelism is the whole run. This module provides:
+//!
+//! * [`parallel_map`] — a generic work-stealing map over a slice, built on
+//!   `std::thread::scope` (no external dependencies). Workers pull the
+//!   next item from a shared atomic counter, so long runs never gate
+//!   short ones behind a static partition.
+//! * [`RunSpec`] / [`run_all`] — the simulation-shaped front end: describe
+//!   a batch of runs declaratively, get the reports back.
+//!
+//! **Determinism contract:** results are keyed by input index, never by
+//! completion order. `run_all(specs)[i]` is the report for `specs[i]`
+//! regardless of `COAXIAL_JOBS`, thread scheduling, or which worker
+//! happened to execute it. Each simulation is self-contained (its RNG
+//! seeds derive from the spec, not from global state), so
+//! `COAXIAL_JOBS=1` and `COAXIAL_JOBS=N` produce bit-identical reports —
+//! see `tests/parallel_equivalence.rs`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use coaxial_workloads::Workload;
+
+use crate::config::SystemConfig;
+use crate::server::{RunReport, Simulation};
+
+/// Map `f` over `items` on `jobs` worker threads with work stealing.
+///
+/// Results are returned in input order. A panic in `f` propagates to the
+/// caller after the scope joins (no work is silently dropped).
+pub fn parallel_map_jobs<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let jobs = jobs.clamp(1, items.len().max(1));
+    if jobs == 1 {
+        return items.iter().map(f).collect();
+    }
+
+    // Workers race on a shared cursor and collect (index, result) pairs
+    // locally; the pairs are re-keyed by index after the scope joins, so
+    // completion order never leaks into the output.
+    let next = AtomicUsize::new(0);
+    let buckets: Vec<Vec<(usize, R)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut done = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        done.push((i, f(&items[i])));
+                    }
+                    done
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("runner worker panicked")).collect()
+    });
+
+    let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(items.len()).collect();
+    for (i, r) in buckets.into_iter().flatten() {
+        slots[i] = Some(r);
+    }
+    slots.into_iter().map(|r| r.expect("every index ran exactly once")).collect()
+}
+
+/// [`parallel_map_jobs`] with the worker count from `COAXIAL_JOBS`
+/// (default: all host cores).
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    parallel_map_jobs(items, coaxial_sim::env::jobs(), f)
+}
+
+/// One independent simulation: a system configuration, the workload on
+/// each core, and the instruction budget.
+#[derive(Clone)]
+pub struct RunSpec {
+    pub config: SystemConfig,
+    /// One workload per core (replicated for homogeneous runs).
+    pub workloads: Vec<&'static Workload>,
+    pub instructions: u64,
+    pub warmup: u64,
+}
+
+impl RunSpec {
+    /// Every core runs the same workload (the common single-program case).
+    pub fn homogeneous(
+        config: SystemConfig,
+        workload: &'static Workload,
+        instructions: u64,
+        warmup: u64,
+    ) -> Self {
+        let workloads = vec![workload; config.cores];
+        Self { config, workloads, instructions, warmup }
+    }
+
+    /// Heterogeneous run (Fig. 6 mixes): one workload per core.
+    pub fn mix(
+        config: SystemConfig,
+        mix: &[&'static Workload],
+        instructions: u64,
+        warmup: u64,
+    ) -> Self {
+        Self { config, workloads: mix.to_vec(), instructions, warmup }
+    }
+
+    fn build(&self) -> Simulation {
+        Simulation::new_mix(self.config.clone(), &self.workloads)
+            .instructions_per_core(self.instructions)
+            .warmup(self.warmup)
+    }
+}
+
+/// Execute a batch of independent runs across the job pool.
+///
+/// `run_all(specs)[i]` corresponds to `specs[i]`; see the module docs for
+/// the determinism contract.
+pub fn run_all(specs: &[RunSpec]) -> Vec<RunReport> {
+    parallel_map(specs, |s| s.build().run())
+}
+
+/// [`run_all`] with an explicit worker count (ignores `COAXIAL_JOBS`);
+/// used by the equivalence tests to avoid racing on the environment.
+pub fn run_all_jobs(specs: &[RunSpec], jobs: usize) -> Vec<RunReport> {
+    parallel_map_jobs(specs, jobs, |s| s.build().run())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_input_order() {
+        let items: Vec<u64> = (0..97).collect();
+        let serial = parallel_map_jobs(&items, 1, |&x| x * x);
+        let parallel = parallel_map_jobs(&items, 8, |&x| x * x);
+        assert_eq!(serial, parallel);
+        assert_eq!(parallel[13], 169);
+    }
+
+    #[test]
+    fn parallel_map_handles_empty_and_oversubscribed() {
+        let none: Vec<u32> = Vec::new();
+        assert!(parallel_map_jobs(&none, 4, |&x| x).is_empty());
+        let one = [7u32];
+        assert_eq!(parallel_map_jobs(&one, 64, |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn uneven_work_still_lands_on_the_right_index() {
+        // Early items take much longer than late ones; with a static
+        // partition the slow prefix would finish last, so this catches
+        // any completion-order keying.
+        let items: Vec<u64> = (0..32).collect();
+        let out = parallel_map_jobs(&items, 4, |&x| {
+            if x < 4 {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            x + 100
+        });
+        assert_eq!(out, (100..132).collect::<Vec<u64>>());
+    }
+}

@@ -10,8 +10,9 @@
 //! ChampSim semantics).
 
 use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
 
-use coaxial_cache::{CalmStats, HierStats, Hierarchy, HierarchyConfig};
+use coaxial_cache::{CalmStats, HierStats, Hierarchy, HierarchyConfig, PrefillState};
 use coaxial_cpu::{Core, CoreParams, FileTrace, TraceSource};
 use coaxial_cxl::CxlMemory;
 use coaxial_dram::{ChannelStats, MemoryBackend, MultiChannel};
@@ -74,6 +75,59 @@ impl RunReport {
     }
 }
 
+/// Everything the functional prefill's outcome depends on: the per-core
+/// workloads, the trace seed, and the cache geometry (core count and LLC
+/// slice size; L1/L2 shapes are fixed by Table III). Deliberately *not* the
+/// memory system — prefill is functional, so a baseline-DDR run and a
+/// CXL run of the same workload warm up to the identical state.
+type PrefillKey = (Vec<String>, u64, usize, usize, u64);
+
+/// One-entry memo of the last prefill. Compare-style sweeps (Figs. 5, 7, 8,
+/// 10) run the base and COAXIAL twins of each workload back to back, so a
+/// single entry already halves total prefill work; replacement is plain
+/// last-writer-wins, which stays correct (if suboptimal) under the parallel
+/// runner's arbitrary interleavings.
+static PREFILL_MEMO: Mutex<Option<(PrefillKey, Arc<PrefillState>)>> = Mutex::new(None);
+
+/// What a prefill *access stream* depends on — strictly less than
+/// [`PrefillKey`]: the stream is a property of the workloads and seed alone,
+/// so two geometries that cannot share warmed state (baseline vs. COAXIAL,
+/// which trades LLC slices for CXL controllers) still replay the same
+/// generated accesses, merely chunked into different round sizes.
+type PrefillGenKey = (Vec<String>, u64, usize);
+
+/// Lazily-extended per-core access streams plus the paused generators that
+/// produce them. Parked in [`PREFILL_GEN`] between runs so a sweep visiting
+/// one workload under several memory systems generates each stream once.
+struct PrefillGen {
+    key: PrefillGenKey,
+    traces: Vec<Box<dyn TraceSource + Send>>,
+    streams: Vec<Vec<(u64, bool)>>,
+}
+
+impl PrefillGen {
+    fn new(key: PrefillGenKey, traces: Vec<Box<dyn TraceSource + Send>>) -> Self {
+        let streams = traces.iter().map(|_| Vec::new()).collect();
+        Self { key, traces, streams }
+    }
+
+    /// The first `len` accesses of core `i`'s stream, generating the tail on
+    /// demand. Chunk boundaries never reach the generator, so any round size
+    /// sees the same sequence.
+    fn stream(&mut self, i: usize, len: usize) -> &[(u64, bool)] {
+        let s = &mut self.streams[i];
+        if s.len() < len {
+            let t = &mut self.traces[i];
+            s.extend((s.len()..len).map(|_| t.next_access()));
+        }
+        &self.streams[i][..len]
+    }
+}
+
+/// One-entry park for the last run's [`PrefillGen`] (same replacement story
+/// as [`PREFILL_MEMO`]).
+static PREFILL_GEN: Mutex<Option<PrefillGen>> = Mutex::new(None);
+
 /// Builder for one simulation run.
 pub struct Simulation {
     config: SystemConfig,
@@ -85,10 +139,8 @@ pub struct Simulation {
     instructions: u64,
     warmup: u64,
     max_cycles: Cycle,
-}
-
-fn env_u64(name: &str) -> Option<u64> {
-    std::env::var(name).ok()?.parse().ok()
+    /// Hot-loop cycle skipping; `None` follows `COAXIAL_SKIP` (default on).
+    cycle_skip: Option<bool>,
 }
 
 impl Simulation {
@@ -105,9 +157,17 @@ impl Simulation {
     }
 
     fn with_workloads(config: SystemConfig, workloads: Vec<&'static Workload>) -> Self {
-        let instructions = env_u64("COAXIAL_INSTR").unwrap_or(DEFAULT_INSTRUCTIONS);
-        let warmup = env_u64("COAXIAL_WARMUP").unwrap_or(DEFAULT_WARMUP);
-        Self { config, workloads, trace_file: None, instructions, warmup, max_cycles: 0 }
+        let instructions = coaxial_sim::env::instructions(DEFAULT_INSTRUCTIONS);
+        let warmup = coaxial_sim::env::warmup(DEFAULT_WARMUP);
+        Self {
+            config,
+            workloads,
+            trace_file: None,
+            instructions,
+            warmup,
+            max_cycles: 0,
+            cycle_skip: None,
+        }
     }
 
     /// Replay a captured trace file on every active core.
@@ -118,7 +178,7 @@ impl Simulation {
     }
 
     /// Build the trace stream for core `i` (registry workload or file).
-    fn trace_for(&self, i: usize, seed: u64) -> Box<dyn TraceSource> {
+    fn trace_for(&self, i: usize, seed: u64) -> Box<dyn TraceSource + Send> {
         match &self.trace_file {
             Some(path) => Box::new(
                 FileTrace::open(path)
@@ -150,6 +210,14 @@ impl Simulation {
     /// Hard cycle cap (default: scaled to the instruction budget).
     pub fn max_cycles(mut self, n: Cycle) -> Self {
         self.max_cycles = n;
+        self
+    }
+
+    /// Force hot-loop cycle skipping on or off (overrides `COAXIAL_SKIP`).
+    /// Skipping is statistically invisible: reports are bit-identical either
+    /// way (see DESIGN.md "Performance & parallelism").
+    pub fn cycle_skip(mut self, on: bool) -> Self {
+        self.cycle_skip = Some(on);
         self
     }
 
@@ -190,28 +258,88 @@ impl Simulation {
         // is exhausted), so the measured window starts at dirty steady
         // state — evictions, and therefore memory write traffic, flow from
         // the first cycle.
-        let llc_lines_total =
-            (cfg.llc_mb_per_core * 1024.0 * 1024.0 / 64.0) as usize * cfg.cores;
-        let mut prefill_traces: Vec<_> =
-            (0..cfg.active_cores).map(|i| self.trace_for(i, cfg.seed ^ 0xF111)).collect();
-        let round_ops = (llc_lines_total / cfg.active_cores.max(1)).max(4096);
-        for _round in 0..8 {
-            for (i, t) in prefill_traces.iter_mut().enumerate() {
-                for _ in 0..round_ops {
-                    let op = t.next_op();
-                    hierarchy.prefill_access(
-                        i as u32,
-                        op.line_addr,
-                        op.kind == coaxial_cpu::MemKind::Store,
-                    );
+        let dbg_t0 = std::time::Instant::now();
+        // Registry workloads are deterministic, so the warmed state is fully
+        // determined by the memo key; a hit replaces the whole prefill with
+        // an array copy. Trace-file runs bypass the memo (a path name does
+        // not pin the file's contents).
+        let memo_key: Option<PrefillKey> = self.trace_file.is_none().then(|| {
+            (
+                self.workloads.iter().map(|w| w.name.to_string()).collect(),
+                cfg.seed,
+                cfg.cores,
+                cfg.active_cores,
+                cfg.llc_mb_per_core.to_bits(),
+            )
+        });
+        let cached = memo_key.as_ref().and_then(|k| {
+            let memo = PREFILL_MEMO.lock().unwrap();
+            memo.as_ref().filter(|(key, _)| key == k).map(|(_, s)| Arc::clone(s))
+        });
+        if let Some(state) = cached {
+            hierarchy.import_prefill_state(&state);
+        } else {
+            let llc_lines_total =
+                (cfg.llc_mb_per_core * 1024.0 * 1024.0 / 64.0) as usize * cfg.cores;
+            let round_ops = (llc_lines_total / cfg.active_cores.max(1)).max(4096);
+            // The access streams depend on the workloads and seed but not the
+            // geometry, so reuse the previous run's generated prefix (and its
+            // paused generators) when the run is a same-workload sibling.
+            let gen_key: PrefillGenKey = (
+                self.workload_names(),
+                cfg.seed,
+                cfg.active_cores,
+            );
+            let parked = if self.trace_file.is_none() {
+                let mut slot = PREFILL_GEN.lock().unwrap();
+                match slot.as_ref() {
+                    Some(g) if g.key == gen_key => slot.take(),
+                    _ => None,
+                }
+            } else {
+                None
+            };
+            let mut gen = parked.unwrap_or_else(|| {
+                let traces =
+                    (0..cfg.active_cores).map(|i| self.trace_for(i, cfg.seed ^ 0xF111)).collect();
+                PrefillGen::new(gen_key, traces)
+            });
+            // The prefill streams multiples of the LLC capacity through arrays
+            // far larger than the host's caches, so each probe is a host memory
+            // miss. Walking a pre-generated round and prefetching the tag sets
+            // a few accesses ahead overlaps those misses; the prefill_access
+            // call sequence — and therefore the warmed state — is unchanged.
+            const PREFETCH_AHEAD: usize = 8;
+            let mut consumed = 0usize;
+            for _round in 0..8 {
+                for i in 0..cfg.active_cores {
+                    // next_access advances the generator exactly like next_op
+                    // but skips the gap math the prefill discards.
+                    let stream = gen.stream(i, consumed + round_ops);
+                    for j in consumed..consumed + round_ops {
+                        if let Some(&(ahead, _)) = stream.get(j + PREFETCH_AHEAD) {
+                            hierarchy.prefill_prefetch(i as u32, ahead);
+                        }
+                        let (line, is_store) = stream[j];
+                        hierarchy.prefill_access(i as u32, line, is_store);
+                    }
+                }
+                consumed += round_ops;
+                let [_, _, (llc_valid, _)] = hierarchy.occupancy();
+                if llc_valid >= llc_lines_total * 9 / 10 {
+                    break;
                 }
             }
-            let [_, _, (llc_valid, _)] = hierarchy.occupancy();
-            if llc_valid >= llc_lines_total * 9 / 10 {
-                break;
+            if self.trace_file.is_none() {
+                *PREFILL_GEN.lock().unwrap() = Some(gen);
+            }
+            if let Some(k) = memo_key {
+                *PREFILL_MEMO.lock().unwrap() =
+                    Some((k, Arc::new(hierarchy.export_prefill_state())));
             }
         }
         hierarchy.finish_prefill();
+        let dbg_prefill = dbg_t0.elapsed();
 
         let mut cores: Vec<Core> = (0..cfg.active_cores)
             .map(|i| Core::new(i as u32, CoreParams::default(), self.trace_for(i, cfg.seed)))
@@ -224,10 +352,14 @@ impl Simulation {
             (self.warmup + self.instructions) * 120
         };
 
+        let skip = self.cycle_skip.unwrap_or_else(coaxial_sim::env::cycle_skip);
+
         let mut now: Cycle = 0;
         let mut warm = self.warmup == 0;
         // IPC freeze-point per core.
         let mut finish_ipc: Vec<Option<f64>> = vec![None; cores.len()];
+        let mut dbg_skipped: u64 = 0;
+        let mut dbg_blocked_iters: u64 = 0;
 
         while now < max_cycles {
             hierarchy.tick(now);
@@ -241,6 +373,9 @@ impl Simulation {
             }
             now += 1;
 
+            // Warmup flip and finish checks only observe retired-instruction
+            // counts, which cannot change over a skipped (fully-blocked)
+            // span — so evaluating them at simulated cycles only is exact.
             if !warm && cores.iter().all(|c| c.retired >= self.warmup) {
                 warm = true;
                 hierarchy.reset_stats(now);
@@ -263,6 +398,52 @@ impl Simulation {
                     break;
                 }
             }
+
+            // Cycle skipping: when every core is fully blocked (ROB-head
+            // load outstanding, ROB full, nothing issuable) and the
+            // hierarchy proves it has no work before cycle T, every cycle in
+            // [now, T) would be a pure stall tick — replay them in O(1) and
+            // jump. Clamped to max_cycles-1 so the final simulated cycle
+            // (which pins backend measurement windows) matches the unskipped
+            // loop exactly.
+            if skip {
+                // Probe the cores first: they veto most skip attempts and
+                // their bound is O(issue window), while the hierarchy bound
+                // walks every channel. Only consult the hierarchy once every
+                // core is provably stalled.
+                let mut all_blocked = true;
+                let mut target = Cycle::MAX;
+                for c in cores.iter() {
+                    match c.next_event() {
+                        Some(e) => target = target.min(e),
+                        None => {
+                            all_blocked = false;
+                            break;
+                        }
+                    }
+                }
+                if all_blocked {
+                    target = target.min(hierarchy.next_event(now - 1));
+                    dbg_blocked_iters += 1;
+                    let target = target.min(max_cycles - 1);
+                    if target > now {
+                        let skipped = target - now;
+                        dbg_skipped += skipped;
+                        for c in cores.iter_mut() {
+                            c.fast_forward(skipped);
+                        }
+                        now = target;
+                    }
+                }
+            }
+        }
+        if std::env::var("COAXIAL_SKIP_DEBUG").is_ok() {
+            eprintln!(
+                "skip-debug: now={now} skipped={dbg_skipped} ({:.1}%) blocked_iters={dbg_blocked_iters} prefill={:.3}s loop={:.3}s",
+                100.0 * dbg_skipped as f64 / now.max(1) as f64,
+                dbg_prefill.as_secs_f64(),
+                dbg_t0.elapsed().as_secs_f64() - dbg_prefill.as_secs_f64()
+            );
         }
 
         let per_core_ipc: Vec<f64> = cores
@@ -385,6 +566,42 @@ mod tests {
         let r = Simulation::new_mix(cfg, &mix).instructions_per_core(2_000).warmup(500).run();
         assert_eq!(r.workload_names.len(), 12);
         assert!(r.ipc > 0.0);
+    }
+
+    #[test]
+    fn cycle_skipping_is_bit_identical() {
+        // One DDR config and one CXL config, on a latency-bound workload
+        // (frequent full-stall spans, so skipping actually engages) and a
+        // bandwidth-bound one (skipping rarely engages; must still be exact).
+        for (cfg, wl) in [
+            (SystemConfig::ddr_baseline(), "mcf"),
+            (SystemConfig::coaxial_4x(), "raytrace"),
+            (SystemConfig::coaxial_4x(), "stream-copy"),
+        ] {
+            let run = |skip: bool| {
+                let w = Workload::by_name(wl).expect("workload exists");
+                Simulation::new(cfg.clone(), w)
+                    .instructions_per_core(4_000)
+                    .warmup(1_000)
+                    .cycle_skip(skip)
+                    .run()
+            };
+            let fast = run(true);
+            let slow = run(false);
+            assert_eq!(fast.cycles, slow.cycles, "{wl}: cycle count must match");
+            assert_eq!(fast.ipc, slow.ipc, "{wl}: IPC must be bit-identical");
+            assert_eq!(fast.per_core_ipc, slow.per_core_ipc, "{wl}: per-core IPC");
+            assert_eq!(fast.hier.l2_misses, slow.hier.l2_misses, "{wl}: l2 misses");
+            assert_eq!(fast.hier.llc_misses, slow.hier.llc_misses, "{wl}: llc misses");
+            assert_eq!(fast.ddr.reads, slow.ddr.reads, "{wl}: ddr reads");
+            assert_eq!(fast.ddr.writes, slow.ddr.writes, "{wl}: ddr writes");
+            assert_eq!(fast.ddr.act, slow.ddr.act, "{wl}: ACT commands");
+            assert_eq!(fast.ddr.pre, slow.ddr.pre, "{wl}: PRE commands");
+            assert_eq!(fast.ddr.refab, slow.ddr.refab, "{wl}: refreshes");
+            assert_eq!(fast.ddr.elapsed_cycles, slow.ddr.elapsed_cycles, "{wl}: window");
+            assert_eq!(fast.breakdown_ns, slow.breakdown_ns, "{wl}: breakdown");
+            assert_eq!(fast.bandwidth_gbs, slow.bandwidth_gbs, "{wl}: bandwidth");
+        }
     }
 
     #[test]

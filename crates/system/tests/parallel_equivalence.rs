@@ -1,0 +1,70 @@
+//! The runner's determinism contract: `COAXIAL_JOBS=1` and `=N` must
+//! produce bit-identical reports, in spec order, for the same batch.
+//!
+//! Uses the explicit-jobs entry points (`run_all_jobs`) rather than the
+//! environment so this test cannot race with others in the harness.
+
+use coaxial_system::runner::{parallel_map_jobs, run_all_jobs, RunSpec};
+use coaxial_system::SystemConfig;
+use coaxial_workloads::{mixes, Workload};
+
+fn quick_batch() -> Vec<RunSpec> {
+    const INSTR: u64 = 5_000;
+    const WARMUP: u64 = 1_000;
+    let mut specs = Vec::new();
+    // A DDR config, two CXL variants, and a heterogeneous mix — enough
+    // shape diversity to catch any cross-run state leakage.
+    for name in ["mcf", "stream-copy", "raytrace", "omnetpp"] {
+        let w = Workload::by_name(name).unwrap();
+        specs.push(RunSpec::homogeneous(SystemConfig::ddr_baseline(), w, INSTR, WARMUP));
+        specs.push(RunSpec::homogeneous(SystemConfig::coaxial_4x(), w, INSTR, WARMUP));
+    }
+    specs.push(RunSpec::homogeneous(SystemConfig::coaxial_asym(), Workload::all().first().unwrap(), INSTR, WARMUP));
+    specs.push(RunSpec::mix(SystemConfig::coaxial_4x(), &mixes::mix(3, 12), INSTR, WARMUP));
+    specs
+}
+
+#[test]
+fn parallel_and_serial_reports_are_bit_identical() {
+    let specs = quick_batch();
+    let serial = run_all_jobs(&specs, 1);
+    let parallel = run_all_jobs(&specs, 4);
+    assert_eq!(serial.len(), parallel.len());
+    for (i, (s, p)) in serial.iter().zip(&parallel).enumerate() {
+        assert_eq!(s.config_name, p.config_name, "spec {i}: order must be by index");
+        assert_eq!(s.workload_names, p.workload_names, "spec {i}");
+        assert_eq!(s.cycles, p.cycles, "spec {i} ({})", s.config_name);
+        assert_eq!(s.instructions, p.instructions, "spec {i}");
+        assert_eq!(s.ipc.to_bits(), p.ipc.to_bits(), "spec {i} IPC");
+        for (a, b) in s.per_core_ipc.iter().zip(&p.per_core_ipc) {
+            assert_eq!(a.to_bits(), b.to_bits(), "spec {i} per-core IPC");
+        }
+        assert_eq!(s.mpki.to_bits(), p.mpki.to_bits(), "spec {i} MPKI");
+        assert_eq!(s.hier.l2_misses, p.hier.l2_misses, "spec {i} L2 misses");
+        assert_eq!(s.hier.llc_misses, p.hier.llc_misses, "spec {i} LLC misses");
+        assert_eq!(s.ddr.reads, p.ddr.reads, "spec {i} DDR reads");
+        assert_eq!(s.ddr.writes, p.ddr.writes, "spec {i} DDR writes");
+        assert_eq!(s.bandwidth_gbs.to_bits(), p.bandwidth_gbs.to_bits(), "spec {i} bandwidth");
+    }
+}
+
+#[test]
+fn repeated_parallel_runs_are_stable() {
+    // Same batch twice at the same width: nothing may depend on global
+    // mutable state (thread-ids, statics, iteration order of maps).
+    let specs = quick_batch();
+    let a = run_all_jobs(&specs, 3);
+    let b = run_all_jobs(&specs, 3);
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.ipc.to_bits(), y.ipc.to_bits());
+        assert_eq!(x.cycles, y.cycles);
+        assert_eq!(x.hier.l2_misses, y.hier.l2_misses);
+    }
+}
+
+#[test]
+fn generic_map_keys_results_by_index() {
+    let items: Vec<usize> = (0..50).collect();
+    let out = parallel_map_jobs(&items, 7, |&i| i * 3);
+    assert_eq!(out, items.iter().map(|i| i * 3).collect::<Vec<_>>());
+}

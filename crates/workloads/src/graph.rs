@@ -66,7 +66,13 @@ pub struct GraphTrace {
     /// Current vertex's degree (sampled, deterministic per vertex).
     degree: u32,
     step: Step,
-    edge_cursor: u64,
+    /// Sequential edge-scan position, kept pre-reduced (`edge_line` is the
+    /// line offset within the edge array, `edge_phase` counts entries within
+    /// the line) so the hot path never divides.
+    edge_phase: u64,
+    edge_line: u64,
+    /// Lines spanned by the edge array.
+    edges_span: u64,
     /// A scatter store queued behind the last gather.
     pending_scatter: Option<u64>,
 }
@@ -94,7 +100,9 @@ impl GraphTrace {
             vertex,
             degree: 0,
             step: Step::Offsets,
-            edge_cursor: 0,
+            edge_phase: 0,
+            edge_line: 0,
+            edges_span: p.vertices * p.avg_degree as u64 / ENTRIES_PER_LINE + 1,
             pending_scatter: None,
         };
         g.degree = g.sample_degree();
@@ -112,9 +120,62 @@ impl GraphTrace {
     }
 
     fn advance_vertex(&mut self) {
-        self.vertex = (self.vertex + 1) % self.p.vertices;
+        // vertex < vertices always holds; wrap without the modulo.
+        self.vertex += 1;
+        if self.vertex == self.p.vertices {
+            self.vertex = 0;
+        }
         self.degree = self.sample_degree();
         self.step = Step::Offsets;
+    }
+
+    /// The walker step after the gap draw: `(line, is_store, pc, depends)`.
+    fn next_body(&mut self) -> (u64, bool, u32, bool) {
+        match self.step {
+            Step::Offsets => {
+                // Sequential read of the offsets array.
+                let line = self.layout.offsets_base + self.vertex / ENTRIES_PER_LINE;
+                self.step = Step::Edges { remaining: self.degree };
+                (line, false, 0x100, false)
+            }
+            Step::Edges { remaining: 0 } => {
+                self.step = Step::Update;
+                // Edge list exhausted: read own data entry before update.
+                let line = self.layout.data_base + self.vertex / ENTRIES_PER_LINE;
+                (line, false, 0x101, false)
+            }
+            Step::Edges { remaining } => {
+                self.step = Step::Edges { remaining: remaining - 1 };
+                // Alternate: sequential edge-array read, then random gather.
+                if remaining % 2 == 0 {
+                    // Advance the pre-reduced edge cursor (no div/mod).
+                    self.edge_phase += 1;
+                    if self.edge_phase == ENTRIES_PER_LINE {
+                        self.edge_phase = 0;
+                        self.edge_line += 1;
+                        if self.edge_line == self.edges_span {
+                            self.edge_line = 0;
+                        }
+                    }
+                    let line = self.layout.edges_base + self.edge_line;
+                    (line, false, 0x102, false)
+                } else {
+                    let neighbour = self.rng.next_below(self.p.vertices);
+                    let line = self.layout.data_base + neighbour / ENTRIES_PER_LINE;
+                    if self.rng.chance(self.p.scatter_frac) {
+                        self.pending_scatter = Some(line);
+                    }
+                    let depends = self.rng.chance(self.p.frontier_chase);
+                    (line, false, 0x103, depends)
+                }
+            }
+            Step::Update => {
+                let line = self.layout.data_base + self.vertex / ENTRIES_PER_LINE;
+                let write = self.rng.chance(self.p.write_frac);
+                self.advance_vertex();
+                (line, write, if write { 0x104 } else { 0x105 }, false)
+            }
+        }
     }
 }
 
@@ -128,53 +189,26 @@ impl TraceSource for GraphTrace {
             return op;
         }
         let gap = self.gap();
-        match self.step {
-            Step::Offsets => {
-                // Sequential read of the offsets array.
-                let line = self.layout.offsets_base + self.vertex / ENTRIES_PER_LINE;
-                self.step = Step::Edges { remaining: self.degree };
-                TraceOp::load(gap, line, 0x100)
-            }
-            Step::Edges { remaining: 0 } => {
-                self.step = Step::Update;
-                // Edge list exhausted: read own data entry before update.
-                let line = self.layout.data_base + self.vertex / ENTRIES_PER_LINE;
-                TraceOp::load(gap, line, 0x101)
-            }
-            Step::Edges { remaining } => {
-                self.step = Step::Edges { remaining: remaining - 1 };
-                // Alternate: sequential edge-array read, then random gather.
-                if remaining % 2 == 0 {
-                    self.edge_cursor += 1;
-                    let edges_span =
-                        self.p.vertices * self.p.avg_degree as u64 / ENTRIES_PER_LINE + 1;
-                    let line = self.layout.edges_base + (self.edge_cursor / ENTRIES_PER_LINE) % edges_span;
-                    TraceOp::load(gap, line, 0x102)
-                } else {
-                    let neighbour = self.rng.next_below(self.p.vertices);
-                    let line = self.layout.data_base + neighbour / ENTRIES_PER_LINE;
-                    if self.rng.chance(self.p.scatter_frac) {
-                        self.pending_scatter = Some(line);
-                    }
-                    let op = TraceOp::load(gap, line, 0x103);
-                    if self.rng.chance(self.p.frontier_chase) {
-                        op.dependent()
-                    } else {
-                        op
-                    }
-                }
-            }
-            Step::Update => {
-                let line = self.layout.data_base + self.vertex / ENTRIES_PER_LINE;
-                let write = self.rng.chance(self.p.write_frac);
-                self.advance_vertex();
-                if write {
-                    TraceOp::store(gap, line, 0x104)
-                } else {
-                    TraceOp::load(gap, line, 0x105)
-                }
-            }
+        let (line, is_store, pc, depends) = self.next_body();
+        let op = if is_store {
+            TraceOp::store(gap, line, pc)
+        } else {
+            TraceOp::load(gap, line, pc)
+        };
+        if depends {
+            op.dependent()
+        } else {
+            op
         }
+    }
+
+    fn next_access(&mut self) -> (u64, bool) {
+        if let Some(line) = self.pending_scatter.take() {
+            return (line, true);
+        }
+        let _ = self.rng.next_u64(); // the draw gap() would consume
+        let (line, is_store, _, _) = self.next_body();
+        (line, is_store)
     }
 }
 

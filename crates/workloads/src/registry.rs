@@ -198,8 +198,9 @@ impl Workload {
     }
 
     /// Build the trace stream for one core. Distinct `(core, seed)` pairs
-    /// give decorrelated but deterministic streams.
-    pub fn trace(&self, core: u32, seed: u64) -> Box<dyn TraceSource> {
+    /// give decorrelated but deterministic streams. The box is `Send` so
+    /// drivers can park partially-consumed generators in shared caches.
+    pub fn trace(&self, core: u32, seed: u64) -> Box<dyn TraceSource + Send> {
         match self.kind {
             Kind::Synthetic(p) => Box::new(SyntheticTrace::new(p, core, seed)),
             Kind::Graph(p) => Box::new(GraphTrace::new(p, core, seed)),

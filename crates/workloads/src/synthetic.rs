@@ -73,8 +73,9 @@ impl SyntheticTrace {
         Self { p, rng, base: core_base(core), cursor, phase: Phase::Steady, pc_seq: 0 }
     }
 
-    fn gap(&mut self) -> u32 {
-        // Advance the burst phase machine.
+    /// Advance the burst phase machine (one Bernoulli draw in Steady) and
+    /// return the phase's mean gap.
+    fn advance_phase(&mut self) -> f64 {
         self.phase = match self.phase {
             Phase::Steady => {
                 if self.rng.chance(self.p.burstiness) {
@@ -88,11 +89,15 @@ impl SyntheticTrace {
             Phase::Quiet(0) => Phase::Steady,
             Phase::Quiet(n) => Phase::Quiet(n - 1),
         };
-        let mean = match self.phase {
+        match self.phase {
             Phase::Steady => self.p.mean_gap,
             Phase::Burst(_) => self.p.mean_gap * 0.1,
             Phase::Quiet(_) => self.p.mean_gap * 1.9,
-        };
+        }
+    }
+
+    fn gap(&mut self) -> u32 {
+        let mean = self.advance_phase();
         self.rng.next_exp(mean).round().min(u32::MAX as f64) as u32
     }
 
@@ -101,7 +106,12 @@ impl SyntheticTrace {
             // Hot region at the start of the footprint.
             self.rng.next_below(self.p.hot_lines)
         } else if self.rng.chance(self.p.spatial) {
-            self.cursor = (self.cursor + 1) % self.p.footprint_lines;
+            // cursor < footprint_lines always holds, so the wrap is a
+            // compare instead of a (slow, hot-path) integer modulo.
+            self.cursor += 1;
+            if self.cursor == self.p.footprint_lines {
+                self.cursor = 0;
+            }
             self.cursor
         } else {
             self.cursor = self.rng.next_below(self.p.footprint_lines);
@@ -134,6 +144,19 @@ impl TraceSource for SyntheticTrace {
             pc,
             depends_on_last_load: depends,
         }
+    }
+
+    fn next_access(&mut self) -> (u64, bool) {
+        // Same draw sequence as next_op, minus the ln/round on the gap.
+        let _ = self.advance_phase();
+        let _ = self.rng.next_u64(); // the draw next_exp would consume
+        let line_addr = self.address();
+        let is_store = self.rng.chance(self.p.write_frac);
+        if !is_store {
+            let _ = self.rng.chance(self.p.pointer_chase);
+        }
+        self.pc_seq = (self.pc_seq + 1) & 0x3F;
+        (line_addr, is_store)
     }
 }
 

@@ -66,9 +66,9 @@ impl TreeTrace {
     }
 }
 
-impl TraceSource for TreeTrace {
-    fn next_op(&mut self) -> TraceOp {
-        let gap = self.rng.next_exp(self.p.mean_gap).round() as u32;
+impl TreeTrace {
+    /// The walk step after the gap draw: `(line, is_store, level)`.
+    fn next_body(&mut self) -> (u64, bool, u32) {
         let level = self.level;
         let (start, span) = self.level_span(level);
         let line = self.base + start + self.rng.next_below(span);
@@ -78,8 +78,15 @@ impl TraceSource for TreeTrace {
             self.updating = self.rng.chance(self.p.update_frac);
         }
         self.level = if is_leaf { 0 } else { level + 1 };
+        (line, is_leaf && self.updating, level)
+    }
+}
 
-        if is_leaf && self.updating {
+impl TraceSource for TreeTrace {
+    fn next_op(&mut self) -> TraceOp {
+        let gap = self.rng.next_exp(self.p.mean_gap).round() as u32;
+        let (line, is_store, level) = self.next_body();
+        if is_store {
             // The leaf update is a store dependent on the walk.
             let mut op = TraceOp::store(gap, line, 0x200 + level);
             op.depends_on_last_load = true;
@@ -93,6 +100,12 @@ impl TraceSource for TreeTrace {
                 op
             }
         }
+    }
+
+    fn next_access(&mut self) -> (u64, bool) {
+        let _ = self.rng.next_u64(); // the draw the gap sample would consume
+        let (line, is_store, _) = self.next_body();
+        (line, is_store)
     }
 }
 

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Repo gate: build, test, lint. Run before every push.
+#
+#   scripts/check.sh
+#
+# The container is offline; --offline keeps cargo from probing crates.io.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release =="
+cargo build --release --offline --workspace
+
+echo "== cargo test =="
+cargo test -q --offline --workspace
+
+echo "== cargo clippy =="
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "check.sh: all green"

@@ -21,6 +21,7 @@
 use std::process::exit;
 
 use coaxial::cpu::tracefile;
+use coaxial::system::runner::{run_all, RunSpec};
 use coaxial::system::{RunReport, Simulation, SystemConfig};
 use coaxial::workloads::Workload;
 
@@ -184,26 +185,26 @@ fn main() {
             let Some(wl) = args.get(1) else { usage() };
             let o = parse_opts(&args[2..]);
             let w = workload(wl);
-            let run = |cfg: SystemConfig| {
-                Simulation::new(cfg.with_active_cores(o.cores), w)
-                    .instructions_per_core(o.instr)
-                    .warmup(o.warmup)
-                    .run()
-            };
-            let base = run(SystemConfig::ddr_baseline());
+            // One batch across the job pool; reports come back in config order.
+            let specs: Vec<RunSpec> = [
+                SystemConfig::ddr_baseline(),
+                SystemConfig::coaxial_2x(),
+                SystemConfig::coaxial_4x(),
+                SystemConfig::coaxial_5x(),
+                SystemConfig::coaxial_asym(),
+            ]
+            .into_iter()
+            .map(|cfg| RunSpec::homogeneous(cfg.with_active_cores(o.cores), w, o.instr, o.warmup))
+            .collect();
+            let reports = run_all(&specs);
+            let base = &reports[0];
             println!("{:<14} {:>7} {:>9} {:>11} {:>10}", "config", "IPC", "speedup", "L2-miss ns", "util");
-            for r in [
-                &base,
-                &run(SystemConfig::coaxial_2x()),
-                &run(SystemConfig::coaxial_4x()),
-                &run(SystemConfig::coaxial_5x()),
-                &run(SystemConfig::coaxial_asym()),
-            ] {
+            for r in &reports {
                 println!(
                     "{:<14} {:>7.3} {:>8.2}x {:>11.0} {:>9.0}%",
                     r.config_name,
                     r.ipc,
-                    r.speedup_over(&base),
+                    r.speedup_over(base),
                     r.l2_miss_latency_ns,
                     r.utilization * 100.0
                 );
@@ -213,22 +214,16 @@ fn main() {
             let Some(wl) = args.get(1) else { usage() };
             let o = parse_opts(&args[2..]);
             let w = workload(wl);
-            let base = Simulation::new(SystemConfig::ddr_baseline().with_active_cores(o.cores), w)
-                .instructions_per_core(o.instr)
-                .warmup(o.warmup)
-                .run();
+            let latencies = [10.0, 30.0, 50.0, 70.0, 90.0, 120.0];
+            let specs: Vec<RunSpec> = std::iter::once(SystemConfig::ddr_baseline())
+                .chain(latencies.iter().map(|&ns| SystemConfig::coaxial_4x().with_cxl_latency_ns(ns)))
+                .map(|cfg| RunSpec::homogeneous(cfg.with_active_cores(o.cores), w, o.instr, o.warmup))
+                .collect();
+            let reports = run_all(&specs);
+            let base = &reports[0];
             println!("baseline IPC {:.3}", base.ipc);
-            for ns in [10.0, 30.0, 50.0, 70.0, 90.0, 120.0] {
-                let r = Simulation::new(
-                    SystemConfig::coaxial_4x()
-                        .with_active_cores(o.cores)
-                        .with_cxl_latency_ns(ns),
-                    w,
-                )
-                .instructions_per_core(o.instr)
-                .warmup(o.warmup)
-                .run();
-                println!("CXL {ns:>5.0} ns: IPC {:.3}  speedup {:.2}x", r.ipc, r.speedup_over(&base));
+            for (ns, r) in latencies.iter().zip(&reports[1..]) {
+                println!("CXL {ns:>5.0} ns: IPC {:.3}  speedup {:.2}x", r.ipc, r.speedup_over(base));
             }
         }
         "profile" => {

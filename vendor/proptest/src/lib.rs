@@ -1,0 +1,240 @@
+//! Offline mini stand-in for the `proptest` crate.
+//!
+//! The build environment cannot reach a crates.io mirror, so this vendored
+//! crate implements exactly the API surface the repo's property tests use:
+//!
+//! - `proptest! { ... }` with an optional `#![proptest_config(...)]` header
+//! - `ProptestConfig { cases, ..ProptestConfig::default() }`
+//! - `Strategy` (assoc type `Value`, combinator `prop_map`)
+//! - range strategies (`1u64..1000`, `0.0f64..1.0`, ...), tuple strategies,
+//!   `proptest::collection::vec`, `proptest::bool::ANY`
+//! - `prop_assert!` / `prop_assert_eq!`
+//!
+//! Unlike real proptest there is no shrinking and no persistence: each test
+//! runs `cases` deterministic iterations seeded from the test's name, so
+//! failures reproduce exactly across runs and machines.
+
+pub mod test_runner {
+    /// Per-block configuration. Only `cases` is honoured; `max_shrink_iters`
+    /// mirrors the real crate so `..ProptestConfig::default()` updates in
+    /// test blocks stay meaningful (and clippy-clean) against this stub.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 256, max_shrink_iters: 1024 }
+        }
+    }
+
+    /// Deterministic SplitMix64 generator seeded from the test name, so a
+    /// given test sees the same case sequence on every run.
+    pub struct TestRng(u64);
+
+    impl TestRng {
+        pub fn from_name(name: &str) -> Self {
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0100_0000_01b3);
+            }
+            TestRng(h)
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in [0, 1).
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A generator of values of type `Value`. Mirrors proptest's trait shape
+    /// closely enough for `impl Strategy<Value = T>` return types.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, O> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end - self.start) as u64;
+                    self.start + (rng.next_u64() % span) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize);
+
+    impl Strategy for core::ops::Range<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            self.start + rng.next_f64() * (self.end - self.start)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($s:ident/$i:tt),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$i.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A/0);
+    tuple_strategy!(A/0, B/1);
+    tuple_strategy!(A/0, B/1, C/2);
+    tuple_strategy!(A/0, B/1, C/2, D/3);
+    tuple_strategy!(A/0, B/1, C/2, D/3, E/4);
+    tuple_strategy!(A/0, B/1, C/2, D/3, E/4, F/5);
+    tuple_strategy!(A/0, B/1, C/2, D/3, E/4, F/5, G/6);
+    tuple_strategy!(A/0, B/1, C/2, D/3, E/4, F/5, G/6, H/7);
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: core::ops::Range<usize>,
+    }
+
+    /// `proptest::collection::vec(strategy, min..max)`.
+    pub fn vec<S: Strategy>(elem: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.generate(rng);
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    pub struct Any;
+
+    /// `proptest::bool::ANY` — a fair coin.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Defines `#[test]` functions that run their body for `cases` generated
+/// inputs. Supports the optional `#![proptest_config(expr)]` header.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            cfg = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr;) => {};
+    (
+        cfg = $cfg:expr;
+        $(#[$meta:meta])*
+        fn $name:ident($($p:pat in $s:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+            for _case in 0..config.cases {
+                $(let $p = $crate::strategy::Strategy::generate(&($s), &mut rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+}
+
+/// `prop_assert!` — panics on failure (no shrinking in this mini harness).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// `prop_assert_eq!` — panics on failure (no shrinking in this mini harness).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}

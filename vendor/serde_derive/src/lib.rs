@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The repo only ever uses `#[derive(Serialize)]` as a marker (no value is
+//! ever serialized to a wire format in-tree), so the derives expand to
+//! nothing; the companion `serde` stub provides a blanket trait impl.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
