@@ -66,6 +66,12 @@ impl CacheArray {
         self.set_mask + 1
     }
 
+    /// Approximate heap footprint of this array's tag metadata, in bytes
+    /// (used to budget byte-bounded caches of warmed cache state).
+    pub fn approx_heap_bytes(&self) -> u64 {
+        (self.tags.len() * (2 * std::mem::size_of::<u64>() + std::mem::size_of::<bool>())) as u64
+    }
+
     pub fn capacity_bytes(&self) -> u64 {
         self.tags.len() as u64 * 64
     }

@@ -23,6 +23,7 @@ use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
 
 use coaxial_dram::{MemRequest, MemoryBackend};
 use coaxial_sim::{Cycle, Histogram};
+use coaxial_telemetry::{MetricsRegistry, MissRecord, NullTelemetry, TelemetrySink, TraceEvent};
 use serde::Serialize;
 
 use crate::cache::CacheArray;
@@ -33,6 +34,18 @@ use crate::prefetch::{self, PrefetchPolicy, PrefetchStats, StrideTable};
 
 /// Identifier handed back for accesses that complete asynchronously.
 pub type AccessId = u64;
+
+/// Trace-lane (`pid`) convention for the event tracer: Perfetto renders a
+/// separate process group per `pid`, so each component class gets its own
+/// base offset (the component instance index is added on top).
+pub mod trace_pid {
+    /// Core-side view of each L2 miss (one lane for all cores; `tid` = core).
+    pub const CORE: u32 = 1;
+    /// LLC bank lanes: `LLC_BANK_BASE + bank`.
+    pub const LLC_BANK_BASE: u32 = 100;
+    /// Memory-channel lanes: `MEM_CHANNEL_BASE + channel`.
+    pub const MEM_CHANNEL_BASE: u32 = 200;
+}
 
 /// Outcome of [`Hierarchy::access`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -123,6 +136,10 @@ struct Txn {
     mem_enqueued_at: Option<Cycle>,
     /// Memory response breakdown (queue, service, cxl), once received.
     resp_breakdown: Option<(Cycle, Cycle, Cycle)>,
+    /// When the memory data reached the core tile (telemetry only: lets
+    /// the attribution separate the CALM wait-for-LLC overhang from
+    /// backend queueing; `None` when telemetry is disabled).
+    mem_arrival: Option<Cycle>,
     /// Bring the line in dirty (a store among the waiters).
     wants_dirty: bool,
     /// Accesses waiting on this transaction.
@@ -197,6 +214,30 @@ impl HierStats {
             self.llc_misses as f64 / total as f64
         }
     }
+
+    /// Export the hierarchy counters into a metrics registry under `prefix`
+    /// (conventionally `"hier"`).
+    pub fn export_metrics(&self, reg: &mut MetricsRegistry, prefix: &str) {
+        reg.set_counter(&format!("{prefix}.l2_misses"), self.l2_misses);
+        reg.set_counter(&format!("{prefix}.llc.hits"), self.llc_hits);
+        reg.set_counter(&format!("{prefix}.llc.misses"), self.llc_misses);
+        reg.set_counter(&format!("{prefix}.mem.reads"), self.mem_reads);
+        reg.set_counter(&format!("{prefix}.mem.writes"), self.mem_writes);
+        reg.set_counter(&format!("{prefix}.mem.wasted_reads"), self.wasted_mem_reads);
+        reg.set_gauge(&format!("{prefix}.l1.hit_ratio"), self.l1_hit_ratio);
+        reg.set_gauge(&format!("{prefix}.l2.hit_ratio"), self.l2_hit_ratio);
+        reg.set_gauge(&format!("{prefix}.onchip_cycles"), self.onchip_cycles);
+        reg.set_gauge(&format!("{prefix}.queue_cycles"), self.queue_cycles);
+        reg.set_gauge(&format!("{prefix}.service_cycles"), self.service_cycles);
+        reg.set_gauge(&format!("{prefix}.cxl_cycles"), self.cxl_cycles);
+        reg.put_histogram(&format!("{prefix}.l2_miss_latency"), self.l2_miss_latency.clone());
+        reg.set_counter(&format!("{prefix}.calm.true_pos"), self.calm.true_pos);
+        reg.set_counter(&format!("{prefix}.calm.true_neg"), self.calm.true_neg);
+        reg.set_counter(&format!("{prefix}.calm.false_pos"), self.calm.false_pos);
+        reg.set_counter(&format!("{prefix}.calm.false_neg"), self.calm.false_neg);
+        reg.set_counter(&format!("{prefix}.prefetch.issued"), self.prefetch.issued);
+        reg.set_counter(&format!("{prefix}.prefetch.useful"), self.prefetch.useful);
+    }
 }
 
 /// Event: a transaction's memory request becomes eligible for enqueue.
@@ -222,8 +263,29 @@ pub struct PrefillState {
     llc: Vec<CacheArray>,
 }
 
-/// The hierarchy, generic over the memory backend.
-pub struct Hierarchy<B: MemoryBackend> {
+impl PrefillState {
+    /// Approximate heap footprint of the warmed arrays, in bytes — the
+    /// sizing input for the byte-bounded prefill cache in `coaxial-system`.
+    pub fn approx_bytes(&self) -> u64 {
+        self.l1
+            .iter()
+            .chain(&self.l2)
+            .chain(&self.llc)
+            .map(CacheArray::approx_heap_bytes)
+            .sum()
+    }
+}
+
+/// The hierarchy, generic over the memory backend and the telemetry sink.
+///
+/// The default sink, [`NullTelemetry`], has `ENABLED = false`: every
+/// telemetry stamping site is behind `if T::ENABLED`, so the default
+/// monomorphization compiles to exactly the pre-telemetry code (verified by
+/// the equivalence test in `coaxial-system` and the `sim_throughput`
+/// bench). Pass a `TelemetryRecorder` via
+/// [`Hierarchy::with_telemetry`] to capture per-request latency
+/// attribution and trace events.
+pub struct Hierarchy<B: MemoryBackend, T: TelemetrySink = NullTelemetry> {
     cfg: HierarchyConfig,
     l1: Vec<CacheArray>,
     l2: Vec<CacheArray>,
@@ -255,12 +317,20 @@ pub struct Hierarchy<B: MemoryBackend> {
 
     stats: HierStats,
     now: Cycle,
+    tel: T,
+}
+
+impl<B: MemoryBackend> Hierarchy<B> {
+    /// A hierarchy with telemetry disabled (the tier-1 fast path).
+    pub fn new(cfg: HierarchyConfig, backend: B) -> Self {
+        Self::with_telemetry(cfg, backend, NullTelemetry)
+    }
 }
 
 /// Sentinel in `req_map` values is unnecessary for writes: write request ids
 /// are simply absent from the map and their responses are dropped.
-impl<B: MemoryBackend> Hierarchy<B> {
-    pub fn new(cfg: HierarchyConfig, backend: B) -> Self {
+impl<B: MemoryBackend, T: TelemetrySink> Hierarchy<B, T> {
+    pub fn with_telemetry(cfg: HierarchyConfig, backend: B, tel: T) -> Self {
         assert!(cfg.cores > 0);
         let l1: Vec<_> =
             (0..cfg.cores).map(|_| CacheArray::new(cfg.l1_bytes, cfg.l1_assoc)).collect();
@@ -296,12 +366,26 @@ impl<B: MemoryBackend> Hierarchy<B> {
             completed: VecDeque::new(),
             stats: HierStats::default(),
             now: 0,
+            tel,
             cfg,
         }
     }
 
     pub fn config(&self) -> &HierarchyConfig {
         &self.cfg
+    }
+
+    pub fn telemetry(&self) -> &T {
+        &self.tel
+    }
+
+    pub fn telemetry_mut(&mut self) -> &mut T {
+        &mut self.tel
+    }
+
+    /// Tear the hierarchy down, handing back the telemetry sink.
+    pub fn into_telemetry(self) -> T {
+        self.tel
     }
 
     pub fn backend(&self) -> &B {
@@ -430,6 +514,7 @@ impl<B: MemoryBackend> Hierarchy<B> {
                     mem_issue_desired: t_l2_miss + self.mesh.tile_to_mc(c, mc),
                     mem_enqueued_at: None,
                     resp_breakdown: None,
+                    mem_arrival: None,
                     wants_dirty: false,
                     waiters: Vec::new(),
                     drop_mem: true,
@@ -443,6 +528,33 @@ impl<B: MemoryBackend> Hierarchy<B> {
             let latency = llc_result_at - t_l2_miss;
             self.stats.onchip_cycles += latency as f64;
             self.stats.l2_miss_latency.record(latency);
+            if T::ENABLED {
+                // Conservation: total = 2*noc_to_bank + llc_latency = noc + llc.
+                self.tel.on_miss(&MissRecord {
+                    core,
+                    line,
+                    channel: 0,
+                    calm: do_calm,
+                    llc_hit: true,
+                    t_l2_miss,
+                    t_done: llc_result_at,
+                    noc: 2 * noc_to_bank,
+                    llc: self.cfg.llc_latency,
+                    issue_wait: 0,
+                    dram_queue: 0,
+                    dram_service: 0,
+                    cxl_link: 0,
+                });
+                self.tel.on_span(TraceEvent {
+                    name: "llc_hit",
+                    cat: "cache",
+                    pid: trace_pid::LLC_BANK_BASE + bank as u32,
+                    tid: core,
+                    start: t_l2_miss,
+                    dur: latency,
+                    line,
+                });
+            }
             return AccessResult::Done(llc_result_at);
         }
 
@@ -470,6 +582,7 @@ impl<B: MemoryBackend> Hierarchy<B> {
             mem_issue_desired,
             mem_enqueued_at: None,
             resp_breakdown: None,
+            mem_arrival: None,
             wants_dirty: is_write,
             waiters: vec![id],
             drop_mem: false,
@@ -512,6 +625,7 @@ impl<B: MemoryBackend> Hierarchy<B> {
                 mem_issue_desired,
                 mem_enqueued_at: None,
                 resp_breakdown: None,
+                mem_arrival: None,
                 wants_dirty: false,
                 waiters: Vec::new(),
                 drop_mem: false,
@@ -733,6 +847,10 @@ impl<B: MemoryBackend> Hierarchy<B> {
                 (txn.line, txn.core as usize, txn.calm, txn.llc_result_at);
             let mc = self.mc_of(line);
             let arrival = resp.completed_at + self.mesh.tile_to_mc(core, mc);
+            if T::ENABLED {
+                self.txns[txn_id as usize].as_mut().expect("live txn").mem_arrival =
+                    Some(arrival);
+            }
             let ready = if calm { arrival.max(llc_result_at) } else { arrival };
             self.finish_events.push(Reverse(Finish { at: ready, txn: txn_id }));
         }
@@ -788,6 +906,70 @@ impl<B: MemoryBackend> Hierarchy<B> {
         self.stats.service_cycles += rs as f64;
         self.stats.cxl_cycles += rc as f64;
         self.stats.l2_miss_latency.record(total);
+
+        if T::ENABLED {
+            // Fine-grained attribution: recompute the deterministic NoC/LLC
+            // path components from the mesh (they are not stored in the Txn,
+            // keeping the telemetry-off layout untouched):
+            //   serial: noc = to-bank + bank→MC + MC→core,  llc = bank hit
+            //   CALM:   noc = core→MC + MC→core (no LLC on the memory path)
+            // `overlap` is measured directly as completion minus data
+            // arrival — the CALM wait-for-LLC overhang, 0 when serial — and
+            // the queue component is the backend residency on the
+            // *hierarchy's* clock net of service and link (the backend's own
+            // `rq` is stamped one cycle earlier, at its last-ticked cycle),
+            // so the components sum exactly to the end-to-end latency.
+            let mc = self.mc_of(txn.line);
+            let core_mc = self.mesh.tile_to_mc(c, mc);
+            let (noc, llc) = if txn.calm {
+                (2 * core_mc, 0)
+            } else {
+                let bank = self.llc_bank(txn.line);
+                (
+                    self.mesh.tile_to_tile(c, bank) + self.mesh.tile_to_mc(bank, mc) + core_mc,
+                    self.cfg.llc_latency,
+                )
+            };
+            let overlap = at - txn.mem_arrival.unwrap_or(at);
+            let issue_wait = enq - txn.mem_issue_desired;
+            let dram_queue =
+                total.saturating_sub(noc + llc + issue_wait + rs + rc + overlap);
+            self.tel.on_miss(&MissRecord {
+                core: txn.core,
+                line: txn.line,
+                channel: mc as u32,
+                calm: txn.calm,
+                llc_hit: false,
+                t_l2_miss: txn.t_l2_miss,
+                t_done: at,
+                noc,
+                llc,
+                issue_wait,
+                dram_queue,
+                dram_service: rs,
+                cxl_link: rc,
+            });
+            self.tel.on_span(TraceEvent {
+                name: "l2_miss",
+                cat: "mem",
+                pid: trace_pid::CORE,
+                tid: txn.core,
+                start: txn.t_l2_miss,
+                dur: total,
+                line: txn.line,
+            });
+            // Backend residency on the channel lane (rq + rs + rc spans
+            // enqueue → data completion; the return NoC hop follows).
+            self.tel.on_span(TraceEvent {
+                name: "mem",
+                cat: "mem",
+                pid: trace_pid::MEM_CHANNEL_BASE + mc as u32,
+                tid: txn.core,
+                start: enq,
+                dur: rq + rs + rc,
+                line: txn.line,
+            });
+        }
     }
 
     /// Pop one completion: `(core, access_id)`.
@@ -845,6 +1027,9 @@ impl<B: MemoryBackend> Hierarchy<B> {
         self.calm.reset_stats();
         self.pf_stats = PrefetchStats::default();
         self.backend.reset_stats(now);
+        if T::ENABLED {
+            self.tel.on_reset();
+        }
     }
 
     /// Functional check used by tests: is this line present anywhere

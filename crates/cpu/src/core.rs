@@ -21,6 +21,7 @@ use coaxial_cache::hierarchy::AccessResult;
 use coaxial_cache::{AccessId, Hierarchy};
 use coaxial_dram::MemoryBackend;
 use coaxial_sim::Cycle;
+use coaxial_telemetry::TelemetrySink;
 use serde::Serialize;
 
 use crate::trace::{MemKind, TraceSource};
@@ -171,7 +172,11 @@ impl Core {
     }
 
     /// Advance one cycle against the shared hierarchy.
-    pub fn tick<B: MemoryBackend>(&mut self, now: Cycle, hierarchy: &mut Hierarchy<B>) {
+    pub fn tick<B: MemoryBackend, T: TelemetrySink>(
+        &mut self,
+        now: Cycle,
+        hierarchy: &mut Hierarchy<B, T>,
+    ) {
         self.cycles += 1;
 
         // 0. Deterministic-latency completions that are due.

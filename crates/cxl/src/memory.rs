@@ -61,6 +61,21 @@ impl CxlMemory {
     pub fn peak_ddr_bandwidth_gbs(&self, dram_cfg: &DramConfig) -> f64 {
         dram_cfg.peak_bandwidth_gbs() * self.ddr_channel_count() as f64
     }
+
+    /// Export per-channel link + device-DDR metrics under `prefix`
+    /// (`{prefix}.ch{i}.link.*` and `{prefix}.ch{i}.ddr.*`).
+    pub fn export_metrics(&self, reg: &mut coaxial_telemetry::MetricsRegistry, prefix: &str) {
+        for (i, c) in self.channels.iter().enumerate() {
+            let (tx, rx) = c.link_utilization(c.window_cycles());
+            reg.set_gauge(&format!("{prefix}.ch{i}.link.tx_utilization"), tx);
+            reg.set_gauge(&format!("{prefix}.ch{i}.link.rx_utilization"), rx);
+            c.ddr_stats().export_metrics(reg, &format!("{prefix}.ch{i}.ddr"));
+        }
+        let (tx, rx) = self.link_utilization();
+        reg.set_gauge(&format!("{prefix}.link.tx_utilization"), tx);
+        reg.set_gauge(&format!("{prefix}.link.rx_utilization"), rx);
+        self.stats().export_metrics(reg, &format!("{prefix}.ddr_total"));
+    }
 }
 
 impl MemoryBackend for CxlMemory {
@@ -116,6 +131,10 @@ impl MemoryBackend for CxlMemory {
 
     fn next_event(&self, now: Cycle) -> Cycle {
         self.channels.iter().map(|c| c.next_event(now)).min().unwrap_or(now + 1)
+    }
+
+    fn export_metrics(&self, reg: &mut coaxial_telemetry::MetricsRegistry, prefix: &str) {
+        CxlMemory::export_metrics(self, reg, prefix)
     }
 }
 

@@ -46,6 +46,27 @@ impl ChannelStats {
         (self.read_bytes + self.write_bytes) as f64 / ns
     }
 
+    /// Export the channel counters into a metrics registry under `prefix`
+    /// (e.g. `dram.ch0`).
+    pub fn export_metrics(&self, reg: &mut coaxial_telemetry::MetricsRegistry, prefix: &str) {
+        reg.set_counter(&format!("{prefix}.reads"), self.reads);
+        reg.set_counter(&format!("{prefix}.writes"), self.writes);
+        reg.set_counter(&format!("{prefix}.read_bytes"), self.read_bytes);
+        reg.set_counter(&format!("{prefix}.write_bytes"), self.write_bytes);
+        reg.set_counter(&format!("{prefix}.row.hits"), self.row_hits);
+        reg.set_counter(&format!("{prefix}.row.misses"), self.row_misses);
+        reg.set_counter(&format!("{prefix}.row.conflicts"), self.row_conflicts);
+        reg.set_counter(&format!("{prefix}.cmd.act"), self.act);
+        reg.set_counter(&format!("{prefix}.cmd.pre"), self.pre);
+        reg.set_counter(&format!("{prefix}.cmd.rd_cas"), self.rd_cas);
+        reg.set_counter(&format!("{prefix}.cmd.wr_cas"), self.wr_cas);
+        reg.set_counter(&format!("{prefix}.cmd.refab"), self.refab);
+        reg.set_gauge(&format!("{prefix}.mean_queue_cycles"), self.mean_queue_cycles);
+        reg.set_gauge(&format!("{prefix}.mean_service_cycles"), self.mean_service_cycles);
+        reg.set_gauge(&format!("{prefix}.bus_utilization"), self.bus_utilization);
+        reg.set_gauge(&format!("{prefix}.bandwidth_gbs"), self.bandwidth_gbs());
+    }
+
     /// Fold stats from another channel (used to aggregate multi-channel
     /// backends; elapsed is taken as the max).
     pub fn merge(&mut self, other: &ChannelStats) {
@@ -190,6 +211,10 @@ impl Channel {
 }
 
 impl MemoryBackend for Channel {
+    fn export_metrics(&self, reg: &mut coaxial_telemetry::MetricsRegistry, prefix: &str) {
+        self.stats().export_metrics(reg, prefix)
+    }
+
     fn try_enqueue(&mut self, req: MemRequest) -> Result<(), MemRequest> {
         let (s, local) = self.route(req.line_addr);
         let mut local_req = req;

@@ -73,6 +73,11 @@ pub trait MemoryBackend {
     fn next_event(&self, _now: Cycle) -> Cycle {
         _now + 1
     }
+
+    /// Export backend-specific metrics (per-channel counters, link
+    /// utilizations, ...) into `reg` under `prefix`. Called off the hot
+    /// path, at harvest time only. Default: nothing.
+    fn export_metrics(&self, _reg: &mut coaxial_telemetry::MetricsRegistry, _prefix: &str) {}
 }
 
 impl<T: MemoryBackend + ?Sized> MemoryBackend for Box<T> {
@@ -102,5 +107,8 @@ impl<T: MemoryBackend + ?Sized> MemoryBackend for Box<T> {
     }
     fn next_event(&self, now: Cycle) -> Cycle {
         (**self).next_event(now)
+    }
+    fn export_metrics(&self, reg: &mut coaxial_telemetry::MetricsRegistry, prefix: &str) {
+        (**self).export_metrics(reg, prefix)
     }
 }

@@ -45,6 +45,15 @@ impl MultiChannel {
     pub fn peak_bandwidth_gbs(&self) -> f64 {
         self.channels[0].config().peak_bandwidth_gbs() * self.channels.len() as f64
     }
+
+    /// Export per-channel and aggregate metrics under `prefix`
+    /// (`{prefix}.ch{i}.*` plus `{prefix}.total.*`).
+    pub fn export_metrics(&self, reg: &mut coaxial_telemetry::MetricsRegistry, prefix: &str) {
+        for (i, c) in self.channels.iter().enumerate() {
+            c.stats().export_metrics(reg, &format!("{prefix}.ch{i}"));
+        }
+        self.stats().export_metrics(reg, &format!("{prefix}.total"));
+    }
 }
 
 impl MemoryBackend for MultiChannel {
@@ -95,6 +104,10 @@ impl MemoryBackend for MultiChannel {
 
     fn next_event(&self, now: Cycle) -> Cycle {
         self.channels.iter().map(|c| MemoryBackend::next_event(c, now)).min().unwrap_or(now + 1)
+    }
+
+    fn export_metrics(&self, reg: &mut coaxial_telemetry::MetricsRegistry, prefix: &str) {
+        MultiChannel::export_metrics(self, reg, prefix)
     }
 }
 

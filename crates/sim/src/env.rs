@@ -10,6 +10,7 @@
 //! | `COAXIAL_WARMUP`  | instructions per core of cache/DRAM warmup         |
 //! | `COAXIAL_JOBS`    | worker threads for the parallel experiment runner  |
 //! | `COAXIAL_SKIP`    | `off`/`0`/`false` disables hot-loop cycle skipping |
+//! | `COAXIAL_PREFILL_CACHE_MB` | byte budget (MB) for each cross-run prefill cache |
 
 /// Read a `u64` from the environment, falling back to `default` when the
 /// variable is unset or unparsable.
@@ -48,6 +49,20 @@ pub fn jobs() -> usize {
 /// (`COAXIAL_SKIP`, on by default).
 pub fn cycle_skip() -> bool {
     env_flag("COAXIAL_SKIP", true)
+}
+
+/// Byte budget, in MB, for *each* of the simulation driver's cross-run
+/// prefill caches — warmed cache state and generated access streams
+/// (`COAXIAL_PREFILL_CACHE_MB`, default 64).
+///
+/// The default is deliberately modest: the prefill loop is host-memory-
+/// bound, and retaining hundreds of MB of cold cache entries measurably
+/// slows it (the `sim_throughput` sweep regresses ~40 % at a 256 MB
+/// budget from heap-locality loss alone). 64 MB holds roughly 8–16
+/// warmed states — plenty for interleaved parallel schedules — while
+/// keeping the resident set close to the one-entry behaviour.
+pub fn prefill_cache_mb() -> u64 {
+    env_u64("COAXIAL_PREFILL_CACHE_MB", 64)
 }
 
 #[cfg(test)]

@@ -10,17 +10,21 @@
 //! * [`time`] — the `Cycle` type and ns⇄cycle conversion at the system clock,
 //! * [`rng`] — a tiny, fast, deterministic RNG (`SplitMix64`),
 //! * [`stats`] — counters, running means, and latency histograms with
-//!   percentile queries,
+//!   percentile queries (re-exported from `coaxial-telemetry`, the
+//!   canonical implementation),
+//! * [`lru`] — a byte-bounded keyed LRU (prefill-state memoization),
 //! * [`queue`] — bounded FIFO queues that record occupancy statistics,
 //! * [`env`] — the shared `COAXIAL_*` environment knobs (budgets, job count,
 //!   cycle-skip toggle).
 
 pub mod env;
+pub mod lru;
 pub mod queue;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
+pub use lru::ByteBoundedLru;
 pub use queue::BoundedQueue;
 pub use rng::SplitMix64;
 pub use stats::{Histogram, MeanTracker};

@@ -14,6 +14,7 @@
 use coaxial_cache::CalmPolicy;
 use coaxial_dram::{Channel, DramConfig, MemoryBackend};
 use coaxial_sim::Cycle;
+use coaxial_telemetry::TelemetryRecorder;
 use coaxial_workloads::{mixes, PoissonTraffic, Workload};
 use serde::Serialize;
 
@@ -486,6 +487,69 @@ pub fn fig11_core_utilization(active: &[usize], budget: Budget) -> Vec<Utilizati
             UtilizationRow { workload: w.name.to_string(), speedups }
         })
         .collect()
+}
+
+// ─────────────────── Telemetry latency breakdown ────────────────────
+
+/// One system's fine-grained L2-miss latency attribution
+/// (`coaxial breakdown`; the telemetry-subsystem refinement of the
+/// paper's Fig. 2b four-way split).
+#[derive(Debug, Clone, Serialize)]
+pub struct BreakdownRow {
+    pub config_name: String,
+    pub workload: String,
+    /// (component label, mean ns over *all* L2 misses in the measured
+    /// window). Summing this column reproduces `total_ns` exactly — the
+    /// conservation contract of [`coaxial_telemetry::MissRecord`].
+    pub components_ns: Vec<(String, f64)>,
+    /// Mean end-to-end L2-miss latency, ns.
+    pub total_ns: f64,
+    /// The same data folded into the paper's coarse categories:
+    /// (on-chip, queuing, DRAM service, CXL interface), ns.
+    pub paper_ns: (f64, f64, f64, f64),
+    /// Attributed requests (primary L2 misses) in the measured window.
+    pub requests: u64,
+    pub llc_hits: u64,
+    pub calm_requests: u64,
+    /// The driver's own mean L2-miss latency, ns — reported alongside so
+    /// tables can show the attribution matches the untelemetered number.
+    pub report_total_ns: f64,
+    pub ipc: f64,
+}
+
+/// Run each config on `workload` with a [`TelemetryRecorder`] attached and
+/// return per-component latency breakdowns. Runs are independent, so the
+/// batch spreads over `COAXIAL_JOBS` like every other sweep.
+pub fn latency_breakdown(
+    configs: &[SystemConfig],
+    workload: &str,
+    budget: Budget,
+) -> Vec<BreakdownRow> {
+    let w = Workload::by_name(workload).expect("workload exists");
+    runner::parallel_map(configs, |cfg| {
+        let (report, rec, _metrics) = Simulation::new(cfg.clone(), w)
+            .instructions_per_core(budget.instructions)
+            .warmup(budget.warmup)
+            .run_with_telemetry(TelemetryRecorder::new());
+        let ns = coaxial_sim::NS_PER_CYCLE;
+        let att = &rec.attribution;
+        BreakdownRow {
+            config_name: cfg.name.clone(),
+            workload: w.name.to_string(),
+            components_ns: att
+                .mean_ns_rows(ns)
+                .into_iter()
+                .map(|(c, v)| (c.label().to_string(), v))
+                .collect(),
+            total_ns: att.total.mean() * ns,
+            paper_ns: att.paper_breakdown_ns(ns),
+            requests: att.requests(),
+            llc_hits: att.llc_hits,
+            calm_requests: att.calm_requests,
+            report_total_ns: report.l2_miss_latency_ns,
+            ipc: report.ipc,
+        }
+    })
 }
 
 // ───────────────────────── Table V ──────────────────────────

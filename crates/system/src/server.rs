@@ -10,13 +10,14 @@
 //! ChampSim semantics).
 
 use std::path::PathBuf;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, LazyLock, Mutex};
 
 use coaxial_cache::{CalmStats, HierStats, Hierarchy, HierarchyConfig, PrefillState};
 use coaxial_cpu::{Core, CoreParams, FileTrace, TraceSource};
 use coaxial_cxl::CxlMemory;
 use coaxial_dram::{ChannelStats, MemoryBackend, MultiChannel};
-use coaxial_sim::Cycle;
+use coaxial_sim::{ByteBoundedLru, Cycle};
+use coaxial_telemetry::{MetricsRegistry, NullTelemetry, TelemetrySink};
 use coaxial_workloads::Workload;
 use serde::Serialize;
 
@@ -82,12 +83,20 @@ impl RunReport {
 /// CXL run of the same workload warm up to the identical state.
 type PrefillKey = (Vec<String>, u64, usize, usize, u64);
 
-/// One-entry memo of the last prefill. Compare-style sweeps (Figs. 5, 7, 8,
-/// 10) run the base and COAXIAL twins of each workload back to back, so a
-/// single entry already halves total prefill work; replacement is plain
-/// last-writer-wins, which stays correct (if suboptimal) under the parallel
-/// runner's arbitrary interleavings.
-static PREFILL_MEMO: Mutex<Option<(PrefillKey, Arc<PrefillState>)>> = Mutex::new(None);
+/// Byte-bounded keyed LRU of warmed prefill states. Compare-style sweeps
+/// (Figs. 5, 7, 8, 10) revisit the base and COAXIAL twins of each workload,
+/// and the parallel runner interleaves runs arbitrarily — a keyed cache
+/// keeps every live twin warm where a one-entry memo thrashes. The budget
+/// is `COAXIAL_PREFILL_CACHE_MB` (per cache); hit/miss/eviction counters
+/// surface in the metrics registry as `server.prefill.state_cache.*` via
+/// [`prefill_cache_metrics`].
+static PREFILL_MEMO: LazyLock<Mutex<ByteBoundedLru<PrefillKey, Arc<PrefillState>>>> =
+    LazyLock::new(|| Mutex::new(ByteBoundedLru::new(prefill_cache_budget())));
+
+/// Shared byte budget for each cross-run prefill cache.
+fn prefill_cache_budget() -> u64 {
+    coaxial_sim::env::prefill_cache_mb() * 1024 * 1024
+}
 
 /// What a prefill *access stream* depends on — strictly less than
 /// [`PrefillKey`]: the stream is a property of the workloads and seed alone,
@@ -100,15 +109,22 @@ type PrefillGenKey = (Vec<String>, u64, usize);
 /// produce them. Parked in [`PREFILL_GEN`] between runs so a sweep visiting
 /// one workload under several memory systems generates each stream once.
 struct PrefillGen {
-    key: PrefillGenKey,
     traces: Vec<Box<dyn TraceSource + Send>>,
     streams: Vec<Vec<(u64, bool)>>,
 }
 
 impl PrefillGen {
-    fn new(key: PrefillGenKey, traces: Vec<Box<dyn TraceSource + Send>>) -> Self {
+    fn new(traces: Vec<Box<dyn TraceSource + Send>>) -> Self {
         let streams = traces.iter().map(|_| Vec::new()).collect();
-        Self { key, traces, streams }
+        Self { traces, streams }
+    }
+
+    /// Approximate heap footprint: the generated streams dominate; the
+    /// paused generators get a nominal per-trace charge.
+    fn approx_bytes(&self) -> u64 {
+        let streams: usize =
+            self.streams.iter().map(|s| s.capacity() * std::mem::size_of::<(u64, bool)>()).sum();
+        (streams + self.traces.len() * 1024) as u64
     }
 
     /// The first `len` accesses of core `i`'s stream, generating the tail on
@@ -124,9 +140,49 @@ impl PrefillGen {
     }
 }
 
-/// One-entry park for the last run's [`PrefillGen`] (same replacement story
-/// as [`PREFILL_MEMO`]).
-static PREFILL_GEN: Mutex<Option<PrefillGen>> = Mutex::new(None);
+/// Byte-bounded keyed park for paused [`PrefillGen`]s (same budget knob and
+/// metrics story as [`PREFILL_MEMO`]; counters export as
+/// `server.prefill.stream_cache.*`). Entries are *taken* out for exclusive
+/// mutation during a prefill and re-inserted afterwards, so a generator is
+/// never shared between concurrent runs.
+static PREFILL_GEN: LazyLock<Mutex<ByteBoundedLru<PrefillGenKey, PrefillGen>>> =
+    LazyLock::new(|| Mutex::new(ByteBoundedLru::new(prefill_cache_budget())));
+
+/// Export the cross-run prefill caches' occupancy and hit/miss/eviction
+/// counters into `reg` under `server.prefill.*`. The counters are
+/// process-wide (the caches are shared across runs and threads), so sweep
+/// reports see the cumulative numbers.
+pub fn prefill_cache_metrics(reg: &mut MetricsRegistry) {
+    let mut export = |name: &str, hits: u64, misses: u64, evictions: u64, entries: u64, bytes: u64| {
+        reg.set_counter(&format!("server.prefill.{name}.hits"), hits);
+        reg.set_counter(&format!("server.prefill.{name}.misses"), misses);
+        reg.set_counter(&format!("server.prefill.{name}.evictions"), evictions);
+        reg.set_gauge(&format!("server.prefill.{name}.entries"), entries as f64);
+        reg.set_gauge(&format!("server.prefill.{name}.bytes"), bytes as f64);
+    };
+    {
+        let memo = PREFILL_MEMO.lock().unwrap();
+        export(
+            "state_cache",
+            memo.hits(),
+            memo.misses(),
+            memo.evictions(),
+            memo.len() as u64,
+            memo.bytes(),
+        );
+    }
+    {
+        let gen = PREFILL_GEN.lock().unwrap();
+        export(
+            "stream_cache",
+            gen.hits(),
+            gen.misses(),
+            gen.evictions(),
+            gen.len() as u64,
+            gen.bytes(),
+        );
+    }
+}
 
 /// Builder for one simulation run.
 pub struct Simulation {
@@ -235,7 +291,34 @@ impl Simulation {
         }
     }
 
+    /// Run with a telemetry sink attached. Returns the (unchanged)
+    /// [`RunReport`], the sink carrying whatever it recorded, and a
+    /// [`MetricsRegistry`] snapshot of hierarchy, backend, and prefill-cache
+    /// metrics. `run()` is exactly `run_with_telemetry(NullTelemetry).0`
+    /// minus the registry harvest, so figure/table outputs are byte-identical
+    /// whether or not telemetry is attached.
+    pub fn run_with_telemetry<T: TelemetrySink>(self, tel: T) -> (RunReport, T, MetricsRegistry) {
+        match &self.config.memory {
+            MemorySystemKind::DirectDdr { channels } => {
+                let backend = MultiChannel::new(self.config.dram.clone(), *channels);
+                self.run_with_sink(backend, tel)
+            }
+            MemorySystemKind::Cxl { link, channels } => {
+                let backend = CxlMemory::new(link.clone(), self.config.dram.clone(), *channels);
+                self.run_with_sink(backend, tel)
+            }
+        }
+    }
+
     fn run_with<B: MemoryBackend>(self, backend: B) -> RunReport {
+        self.run_with_sink(backend, NullTelemetry).0
+    }
+
+    fn run_with_sink<B: MemoryBackend, T: TelemetrySink>(
+        self,
+        backend: B,
+        tel: T,
+    ) -> (RunReport, T, MetricsRegistry) {
         let cfg = &self.config;
         let hier_cfg = HierarchyConfig {
             mem_channels: cfg.ddr_channels(),
@@ -250,7 +333,7 @@ impl Simulation {
                 cfg.calm,
             )
         };
-        let mut hierarchy = Hierarchy::new(hier_cfg, backend);
+        let mut hierarchy = Hierarchy::with_telemetry(hier_cfg, backend, tel);
 
         // Functional cache prefill: stand-in for the paper's 50 M-instruction
         // warmup. Each active core streams its own access pattern through
@@ -272,10 +355,8 @@ impl Simulation {
                 cfg.llc_mb_per_core.to_bits(),
             )
         });
-        let cached = memo_key.as_ref().and_then(|k| {
-            let memo = PREFILL_MEMO.lock().unwrap();
-            memo.as_ref().filter(|(key, _)| key == k).map(|(_, s)| Arc::clone(s))
-        });
+        let cached =
+            memo_key.as_ref().and_then(|k| PREFILL_MEMO.lock().unwrap().get(k).map(Arc::clone));
         if let Some(state) = cached {
             hierarchy.import_prefill_state(&state);
         } else {
@@ -291,18 +372,14 @@ impl Simulation {
                 cfg.active_cores,
             );
             let parked = if self.trace_file.is_none() {
-                let mut slot = PREFILL_GEN.lock().unwrap();
-                match slot.as_ref() {
-                    Some(g) if g.key == gen_key => slot.take(),
-                    _ => None,
-                }
+                PREFILL_GEN.lock().unwrap().take(&gen_key)
             } else {
                 None
             };
             let mut gen = parked.unwrap_or_else(|| {
                 let traces =
                     (0..cfg.active_cores).map(|i| self.trace_for(i, cfg.seed ^ 0xF111)).collect();
-                PrefillGen::new(gen_key, traces)
+                PrefillGen::new(traces)
             });
             // The prefill streams multiples of the LLC capacity through arrays
             // far larger than the host's caches, so each probe is a host memory
@@ -331,11 +408,13 @@ impl Simulation {
                 }
             }
             if self.trace_file.is_none() {
-                *PREFILL_GEN.lock().unwrap() = Some(gen);
+                let bytes = gen.approx_bytes();
+                PREFILL_GEN.lock().unwrap().insert(gen_key, gen, bytes);
             }
             if let Some(k) = memo_key {
-                *PREFILL_MEMO.lock().unwrap() =
-                    Some((k, Arc::new(hierarchy.export_prefill_state())));
+                let state = Arc::new(hierarchy.export_prefill_state());
+                let bytes = state.approx_bytes();
+                PREFILL_MEMO.lock().unwrap().insert(k, state, bytes);
             }
         }
         hierarchy.finish_prefill();
@@ -469,7 +548,7 @@ impl Simulation {
             (0.0, 0.0)
         };
         let peak = cfg.peak_bandwidth_gbs();
-        RunReport {
+        let report = RunReport {
             config_name: cfg.name.clone(),
             workload_names: self.workload_names(),
             ipc,
@@ -488,7 +567,14 @@ impl Simulation {
             ddr,
             cycles: now,
             instructions: self.instructions,
-        }
+        };
+        // Harvest-time metrics snapshot: hierarchy counters, backend
+        // per-channel counters, and the process-wide prefill caches.
+        let mut metrics = MetricsRegistry::new();
+        report.hier.export_metrics(&mut metrics, "hier");
+        hierarchy.backend().export_metrics(&mut metrics, "mem");
+        prefill_cache_metrics(&mut metrics);
+        (report, hierarchy.into_telemetry(), metrics)
     }
 }
 

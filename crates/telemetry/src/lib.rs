@@ -1,0 +1,51 @@
+//! `coaxial-telemetry` — the observability spine of the COAXIAL simulator.
+//!
+//! COAXIAL's argument rests on *where* a memory access's cycles go:
+//! unloaded link latency vs. queuing at the controllers vs. DRAM service.
+//! This crate provides the machinery to answer that question for every
+//! simulated request, without costing the common (telemetry-off) path a
+//! single instruction:
+//!
+//! * [`stats`] — running means and log-bucketed latency histograms. This is
+//!   the canonical home of [`Histogram`]/[`MeanTracker`]; `coaxial-sim`
+//!   re-exports them so the rest of the workspace keeps its import paths.
+//! * [`attribution`] — the per-request latency ledger: each L2 miss carries
+//!   timestamps stamped at the component boundaries (NoC, LLC, MSHR issue,
+//!   controller queue, DRAM service, CXL link) and is folded into
+//!   per-component histograms. Components sum *exactly* to the end-to-end
+//!   miss latency (conservation is test-enforced).
+//! * [`registry`] — a hierarchical metrics registry: counters, gauges, and
+//!   histograms registered by dot-separated component path
+//!   (`dram.ch0.row_hits`), mergeable and renderable as a table.
+//! * [`trace`] — a bounded ring-buffer event tracer with Chrome-trace JSON
+//!   export (loadable in `about://tracing` / Perfetto) over a configurable
+//!   cycle window.
+//! * [`sink`] — the [`TelemetrySink`] trait that model crates are generic
+//!   over. [`NullTelemetry`] compiles every stamping site to nothing (the
+//!   tier-1 path is bit-identical and within noise of the pre-telemetry
+//!   engine); [`TelemetryRecorder`] records everything.
+//!
+//! This crate sits *below* `coaxial-sim` in the dependency graph (so `sim`
+//! can re-export the stats primitives) and therefore defines its own
+//! [`Cycle`] alias; it is the same `u64` cycle count as `coaxial_sim::Cycle`.
+
+pub mod attribution;
+pub mod registry;
+pub mod sink;
+pub mod stats;
+pub mod trace;
+
+/// Simulation timestamp / duration in system clock cycles (2.4 GHz).
+/// Identical to `coaxial_sim::Cycle`; redeclared here because this crate
+/// sits below `coaxial-sim` in the dependency graph.
+pub type Cycle = u64;
+
+/// Duration of one system clock cycle in nanoseconds (2.4 GHz clock).
+/// Mirrors `coaxial_sim::NS_PER_CYCLE` (same constant, same caveat).
+pub const NS_PER_CYCLE: f64 = 1.0 / 2.4;
+
+pub use attribution::{Component, LatencyAttribution, MissRecord, COMPONENTS};
+pub use registry::{MetricValue, MetricsRegistry, SharedCounter};
+pub use sink::{NullTelemetry, TelemetryRecorder, TelemetrySink};
+pub use stats::{Histogram, MeanTracker};
+pub use trace::{EventTracer, TraceEvent};

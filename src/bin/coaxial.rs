@@ -6,6 +6,8 @@
 //! coaxial run <workload> [opts]           # one simulation, full report
 //! coaxial compare <workload> [opts]       # baseline vs every COAXIAL variant
 //! coaxial sweep-latency <workload> [opts] # CXL latency premium sweep
+//! coaxial breakdown <workload> [opts]     # per-component L2-miss latency
+//! coaxial trace <workload> <out.json> [opts] # Perfetto/Chrome event trace
 //! coaxial profile <workload> [--ops N]       # characterize a generator
 //! coaxial capture <workload> <file> [--ops N]
 //! coaxial replay <file> [opts]            # run a captured .cxtr trace
@@ -16,13 +18,17 @@
 //!   --warmup <n>      warmup instructions per core      (default: 20000)
 //!   --cores <n>       active cores (1..12)              (default: 12)
 //!   --cxl-ns <f>      CXL latency premium override in ns
+//!   --trace-start <c> --trace-end <c>     trace window in cycles
+//!   --trace-cap <n>   trace ring capacity in events     (default: 65536)
 //! ```
 
 use std::process::exit;
 
 use coaxial::cpu::tracefile;
+use coaxial::system::experiments::{latency_breakdown, Budget};
 use coaxial::system::runner::{run_all, RunSpec};
 use coaxial::system::{RunReport, Simulation, SystemConfig};
+use coaxial::telemetry::TelemetryRecorder;
 use coaxial::workloads::Workload;
 
 struct Opts {
@@ -32,6 +38,9 @@ struct Opts {
     cores: usize,
     cxl_ns: Option<f64>,
     ops: usize,
+    trace_start: u64,
+    trace_end: u64,
+    trace_cap: usize,
 }
 
 impl Default for Opts {
@@ -43,12 +52,15 @@ impl Default for Opts {
             cores: 12,
             cxl_ns: None,
             ops: 100_000,
+            trace_start: 0,
+            trace_end: u64::MAX,
+            trace_cap: 1 << 16,
         }
     }
 }
 
 fn usage() -> ! {
-    eprintln!("{}", include_str!("coaxial.rs").lines().skip(2).take(18).map(|l| l.trim_start_matches("//! ")).collect::<Vec<_>>().join("\n"));
+    eprintln!("{}", include_str!("coaxial.rs").lines().skip(2).take(22).map(|l| l.trim_start_matches("//! ")).collect::<Vec<_>>().join("\n"));
     exit(2)
 }
 
@@ -69,6 +81,9 @@ fn parse_opts(args: &[String]) -> Opts {
             "--cores" => o.cores = next().parse().expect("--cores wants a number"),
             "--cxl-ns" => o.cxl_ns = Some(next().parse().expect("--cxl-ns wants a number")),
             "--ops" => o.ops = next().parse().expect("--ops wants a number"),
+            "--trace-start" => o.trace_start = next().parse().expect("--trace-start wants a cycle"),
+            "--trace-end" => o.trace_end = next().parse().expect("--trace-end wants a cycle"),
+            "--trace-cap" => o.trace_cap = next().parse().expect("--trace-cap wants a number"),
             other => {
                 eprintln!("unknown option {other}");
                 exit(2)
@@ -225,6 +240,66 @@ fn main() {
             for (ns, r) in latencies.iter().zip(&reports[1..]) {
                 println!("CXL {ns:>5.0} ns: IPC {:.3}  speedup {:.2}x", r.ipc, r.speedup_over(base));
             }
+        }
+        "breakdown" => {
+            let Some(wl) = args.get(1) else { usage() };
+            let o = parse_opts(&args[2..]);
+            let budget = Budget { instructions: o.instr, warmup: o.warmup };
+            let configs = [SystemConfig::ddr_baseline().with_active_cores(o.cores), build_config(&o)];
+            let rows = latency_breakdown(&configs, wl, budget);
+            println!("mean L2-miss latency attribution on {wl}, ns (measured window)");
+            print!("{:<16}", "component");
+            for r in &rows {
+                print!(" {:>14}", r.config_name);
+            }
+            println!();
+            for i in 0..rows[0].components_ns.len() {
+                print!("{:<16}", rows[0].components_ns[i].0);
+                for r in &rows {
+                    print!(" {:>14.1}", r.components_ns[i].1);
+                }
+                println!();
+            }
+            type RowGet = fn(&coaxial::system::experiments::BreakdownRow) -> f64;
+            let footers: [(&str, RowGet); 2] =
+                [("total (sum)", |r| r.total_ns), ("driver total", |r| r.report_total_ns)];
+            for (label, get) in footers {
+                print!("{label:<16}");
+                for r in &rows {
+                    print!(" {:>14.1}", get(r));
+                }
+                println!();
+            }
+            print!("{:<16}", "requests");
+            for r in &rows {
+                print!(" {:>14}", r.requests);
+            }
+            println!();
+            print!("{:<16}", "IPC");
+            for r in &rows {
+                print!(" {:>14.3}", r.ipc);
+            }
+            println!();
+        }
+        "trace" => {
+            let (Some(wl), Some(out)) = (args.get(1), args.get(2)) else { usage() };
+            let o = parse_opts(&args[3..]);
+            let rec = TelemetryRecorder::new()
+                .with_trace_window(o.trace_cap, o.trace_start, o.trace_end);
+            let (r, rec, _metrics) = Simulation::new(build_config(&o), workload(wl))
+                .instructions_per_core(o.instr)
+                .warmup(o.warmup)
+                .run_with_telemetry(rec);
+            std::fs::write(out, rec.tracer.export_chrome_json()).unwrap_or_else(|e| {
+                eprintln!("cannot write {out}: {e}");
+                exit(1)
+            });
+            println!(
+                "wrote {} events ({} dropped) to {out} — load in https://ui.perfetto.dev or chrome://tracing",
+                rec.tracer.len(),
+                rec.tracer.dropped()
+            );
+            print_report(&r);
         }
         "profile" => {
             let Some(wl) = args.get(1) else { usage() };

@@ -36,4 +36,5 @@ pub use coaxial_cxl as cxl;
 pub use coaxial_dram as dram;
 pub use coaxial_sim as sim;
 pub use coaxial_system as system;
+pub use coaxial_telemetry as telemetry;
 pub use coaxial_workloads as workloads;
