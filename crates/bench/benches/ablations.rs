@@ -9,17 +9,16 @@
 //!    with a second mechanism beside CALM.
 
 use coaxial_bench::{banner, f2, Table};
-use coaxial_system::{Simulation, SystemConfig};
 use coaxial_cache::PrefetchPolicy;
 use coaxial_dram::config::PagePolicy;
+use coaxial_system::{Simulation, SystemConfig};
 use coaxial_workloads::Workload;
 
 fn budget() -> u64 {
     std::env::var("COAXIAL_INSTR").ok().and_then(|v| v.parse().ok()).unwrap_or(40_000)
 }
 
-const WORKLOADS: [&str; 6] =
-    ["stream-triad", "lbm", "PageRank", "mcf", "masstree", "kmeans"];
+const WORKLOADS: [&str; 6] = ["stream-triad", "lbm", "PageRank", "mcf", "masstree", "kmeans"];
 
 fn ipc(cfg: SystemConfig, wl: &str) -> f64 {
     let w = Workload::by_name(wl).expect("workload");
@@ -44,8 +43,9 @@ fn main() {
     for wl in WORKLOADS {
         let adaptive = ipc(SystemConfig::ddr_baseline(), wl);
         let open = ipc(
-            SystemConfig::ddr_baseline()
-                .with_dram(coaxial_dram::DramConfig::ddr5_4800().with_page_policy(PagePolicy::Open)),
+            SystemConfig::ddr_baseline().with_dram(
+                coaxial_dram::DramConfig::ddr5_4800().with_page_policy(PagePolicy::Open),
+            ),
             wl,
         );
         let closed = ipc(
@@ -104,7 +104,7 @@ fn main() {
                 cfg.calm,
             );
             hier.l2_mshrs = mshrs;
-            run_custom(cfg, hier, w)
+            run_custom(&cfg, hier, w)
         };
         let base = at(16);
         t.row(&[wl.into(), f2(at(4) / base), f2(at(8) / base), "1.00".into(), f2(at(32) / base)]);
@@ -164,7 +164,7 @@ fn main() {
 /// Run a simulation with a hand-built hierarchy config (for knobs that
 /// `SystemConfig` does not expose directly).
 fn run_custom(
-    cfg: SystemConfig,
+    cfg: &SystemConfig,
     hier: coaxial_cache::HierarchyConfig,
     w: &'static Workload,
 ) -> f64 {
@@ -180,7 +180,13 @@ fn run_custom(
     ) -> f64 {
         let mut h = coaxial_cache::Hierarchy::new(hier_cfg, backend);
         let mut cores: Vec<Core> = (0..cfg.cores)
-            .map(|i| Core::new(i as u32, CoreParams::default(), w.trace(i as u32, cfg.seed)))
+            .map(|i| {
+                Core::new(
+                    coaxial_sim::small_u32(i),
+                    CoreParams::default(),
+                    w.trace(coaxial_sim::small_u32(i), cfg.seed),
+                )
+            })
             .collect();
         let mut now = 0u64;
         loop {
@@ -202,12 +208,12 @@ fn run_custom(
     let instructions = budget();
     match &cfg.memory {
         coaxial_system::MemorySystemKind::DirectDdr { channels } => {
-            let b = coaxial_dram::MultiChannel::new(cfg.dram.clone(), *channels);
-            drive(&cfg, hier, b, w, instructions)
+            let b = coaxial_dram::MultiChannel::new(&cfg.dram, *channels);
+            drive(cfg, hier, b, w, instructions)
         }
         coaxial_system::MemorySystemKind::Cxl { link, channels } => {
-            let b = coaxial_cxl::CxlMemory::new(link.clone(), cfg.dram.clone(), *channels);
-            drive(&cfg, hier, b, w, instructions)
+            let b = coaxial_cxl::CxlMemory::new(link, &cfg.dram, *channels);
+            drive(cfg, hier, b, w, instructions)
         }
     }
 }

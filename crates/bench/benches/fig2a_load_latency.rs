@@ -8,10 +8,8 @@ use coaxial_system::experiments::fig2a_load_latency;
 fn main() {
     banner("Figure 2a", "DDR5-4800 load-latency curve (avg and p90)");
     let utils: Vec<f64> = (1..=17).map(|i| i as f64 * 0.05).collect();
-    let horizon = std::env::var("COAXIAL_F2A_CYCLES")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(600_000);
+    let horizon =
+        std::env::var("COAXIAL_F2A_CYCLES").ok().and_then(|v| v.parse().ok()).unwrap_or(600_000);
     let pts = fig2a_load_latency(&utils, horizon);
     let mut t = Table::new(&["target util", "achieved util", "avg ns", "p90 ns"]);
     let base = &pts[0];
@@ -45,7 +43,9 @@ fn main() {
 
     // Paper checkpoints: avg grows ~3x at 50% load and ~4x at 60%; p90
     // grows faster than avg.
-    let at = |u: f64| pts.iter().min_by_key(|p| ((p.target_utilization - u).abs() * 1e6) as u64);
+    let at = |u: f64| {
+        pts.iter().min_by_key(|p| coaxial_sim::trunc_u64((p.target_utilization - u).abs() * 1e6))
+    };
     if let (Some(lo), Some(mid)) = (at(0.05), at(0.5)) {
         println!(
             "\navg growth at 50% load: {:.1}x (paper ~3x); p90 growth: {:.1}x (paper ~4.7x)",

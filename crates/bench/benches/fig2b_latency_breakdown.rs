@@ -5,10 +5,7 @@ use coaxial_bench::{banner, f1, pct, Table};
 use coaxial_system::experiments::{baseline_characterization, Budget};
 
 fn main() {
-    banner(
-        "Figure 2b",
-        "Baseline memory latency breakdown and bandwidth utilization per workload",
-    );
+    banner("Figure 2b", "Baseline memory latency breakdown and bandwidth utilization per workload");
     let rows = baseline_characterization(Budget::default());
     let mut t = Table::new(&[
         "workload",

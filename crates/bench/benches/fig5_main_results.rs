@@ -55,8 +55,8 @@ fn main() {
     let coax_util: f64 = rows.iter().map(|r| r.coax.utilization).sum::<f64>() / n;
     let losers = rows.iter().filter(|r| r.speedup < 1.0).count();
     let max = rows.iter().max_by(|a, b| a.speedup.total_cmp(&b.speedup)).unwrap();
-    let lat_reduction = 1.0
-        - geomean(rows.iter().map(|r| r.coax.l2_miss_latency_ns / r.base.l2_miss_latency_ns));
+    let lat_reduction =
+        1.0 - geomean(rows.iter().map(|r| r.coax.l2_miss_latency_ns / r.base.l2_miss_latency_ns));
     println!("\ngeomean speedup: {:.2}x   (paper: 1.39x, up to 3x)", geomean_speedup(&rows));
     println!("max speedup:     {:.2}x on {}", max.speedup, max.workload);
     println!("workloads losing performance: {losers}   (paper: 7)");

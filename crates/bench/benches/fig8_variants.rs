@@ -8,8 +8,7 @@ use coaxial_system::experiments::{fig8_variants, geomean, Budget};
 fn main() {
     banner("Figure 8", "COAXIAL design variants vs DDR baseline");
     let rows = fig8_variants(Budget::default());
-    let mut t =
-        Table::new(&["workload", "COAXIAL-2x", "COAXIAL-4x", "COAXIAL-5x", "COAXIAL-asym"]);
+    let mut t = Table::new(&["workload", "COAXIAL-2x", "COAXIAL-4x", "COAXIAL-5x", "COAXIAL-asym"]);
     for r in &rows {
         t.row(&[
             r.workload.clone(),

@@ -79,7 +79,7 @@ fn bench_cache_lookups() {
 
 fn bench_cxl_link() {
     bench("cxl_channel_500_reads", || {
-        let mut ch = CxlChannel::new(CxlLinkConfig::x8_symmetric(), DramConfig::ddr5_4800());
+        let mut ch = CxlChannel::new(CxlLinkConfig::x8_symmetric(), &DramConfig::ddr5_4800());
         let mut issued = 0u64;
         let mut done = 0;
         let mut now = 0u64;
@@ -103,7 +103,7 @@ fn bench_core_tick() {
         let ops: Vec<TraceOp> = (0..64).map(|i| TraceOp::load(15, i * 131, 1)).collect();
         let mut core = Core::new(0, CoreParams::default(), Box::new(VecTrace::new(ops)));
         let cfg = HierarchyConfig::table_iii(1, 1, 2.0, 38.4, CalmPolicy::Serial);
-        let mut h = Hierarchy::new(cfg, MultiChannel::new(DramConfig::ddr5_4800(), 1));
+        let mut h = Hierarchy::new(cfg, MultiChannel::new(&DramConfig::ddr5_4800(), 1));
         let mut now = 0;
         while core.retired < 20_000 {
             h.tick(now);

@@ -35,12 +35,15 @@ fn main() {
     // Sanity: the sweep must have produced every row (and the work must not
     // have been elided).
     assert_eq!(rows.len(), workloads);
-    let g50 = geomean(rows.iter().map(|r| {
-        r.speedups.iter().find(|(ns, _)| *ns == 50.0).expect("50 ns point").1
-    }));
+    let g50 = geomean(
+        rows.iter().map(|r| r.speedups.iter().find(|(ns, _)| *ns == 50.0).expect("50 ns point").1),
+    );
 
     let sim_instr = runs as u64 * (budget.instructions + budget.warmup) * cores;
-    println!("runs:               {runs} ({workloads} workloads x {} configs)", 1 + LATENCIES.len());
+    println!(
+        "runs:               {runs} ({workloads} workloads x {} configs)",
+        1 + LATENCIES.len()
+    );
     println!("wall:               {wall:.2} s");
     println!("runs/s:             {:.2}", runs as f64 / wall);
     println!("sim instructions/s: {:.3} M", sim_instr as f64 / wall / 1e6);

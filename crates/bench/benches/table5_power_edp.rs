@@ -20,11 +20,7 @@ fn main() {
     t.row(&["DDR5 DIMMs".into(), w(base.dimm_w), w(coax.dimm_w)]);
     t.row(&["Total system power".into(), w(base.total_w), w(coax.total_w)]);
     t.row(&["Average CPI (measured)".into(), f2(base.cpi), f2(coax.cpi)]);
-    t.row(&[
-        "Relative perf/W".into(),
-        "1.00".into(),
-        f2(coax.perf_per_watt / base.perf_per_watt),
-    ]);
+    t.row(&["Relative perf/W".into(), "1.00".into(), f2(coax.perf_per_watt / base.perf_per_watt)]);
     t.row(&[
         "EDP (lower=better)".into(),
         format!("{:.0}", base.edp),
@@ -37,7 +33,5 @@ fn main() {
     ]);
     t.print();
     t.write_csv("table5_power_edp");
-    println!(
-        "\npaper: 646 W vs 931 W; CPI 2.05 vs 1.48; perf/W 0.96; EDP 0.75x; ED2P 0.53x"
-    );
+    println!("\npaper: 646 W vs 931 W; CPI 2.05 vs 1.48; perf/W 0.96; EDP 0.75x; ED2P 0.53x");
 }

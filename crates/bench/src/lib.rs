@@ -10,6 +10,9 @@
 //! `COAXIAL_INSTR` toward the paper's 200 M tightens the numbers at
 //! proportional cost.
 
+// No unsafe anywhere in this crate (lint U01 audit); keep it that way.
+#![forbid(unsafe_code)]
+
 use std::fs;
 use std::io::Write as _;
 use std::path::PathBuf;

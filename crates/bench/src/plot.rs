@@ -102,14 +102,8 @@ fn frame(opts: &ChartOptions, y_min: f64, y_max: f64) -> Frame {
         esc(&opts.title)
     );
     // y axis + ticks.
-    let _ = write!(
-        svg,
-        r#"<line x1="{x0}" y1="{py0}" x2="{x0}" y2="{py1}" stroke='#333'/>"#
-    );
-    let _ = write!(
-        svg,
-        r#"<line x1="{x0}" y1="{py0}" x2="{x1}" y2="{py0}" stroke='#333'/>"#
-    );
+    let _ = write!(svg, r#"<line x1="{x0}" y1="{py0}" x2="{x0}" y2="{py1}" stroke='#333'/>"#);
+    let _ = write!(svg, r#"<line x1="{x0}" y1="{py0}" x2="{x1}" y2="{py0}" stroke='#333'/>"#);
     let ticks = 5;
     for i in 0..=ticks {
         let v = if opts.log_y {
@@ -118,11 +112,7 @@ fn frame(opts: &ChartOptions, y_min: f64, y_max: f64) -> Frame {
             y_min + (y_max - y_min) * i as f64 / ticks as f64
         };
         let y = y_px(v);
-        let label = if v.abs() >= 100.0 {
-            format!("{v:.0}")
-        } else {
-            format!("{v:.2}")
-        };
+        let label = if v.abs() >= 100.0 { format!("{v:.0}") } else { format!("{v:.2}") };
         let _ = write!(
             svg,
             r#"<line x1="{}" y1="{y}" x2="{x1}" y2="{y}" stroke='#ddd'/><text x="{}" y="{}" text-anchor="end">{label}</text>"#,
@@ -303,7 +293,10 @@ mod tests {
         let xs = vec![0.0, 1.0, 2.0, 3.0];
         let svg = line_chart(
             &xs,
-            &[Series::new("avg", vec![1.0, 2.0, 4.0, 9.0]), Series::new("p90", vec![2.0, 3.0, 8.0, 20.0])],
+            &[
+                Series::new("avg", vec![1.0, 2.0, 4.0, 9.0]),
+                Series::new("p90", vec![2.0, 3.0, 8.0, 20.0]),
+            ],
             &ChartOptions::default(),
         );
         assert_eq!(svg.matches("<polyline").count(), 2);
@@ -324,11 +317,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "arity")]
     fn mismatched_series_length_panics() {
-        let _ = bar_chart(
-            &cats(3),
-            &[Series::new("bad", vec![1.0])],
-            &ChartOptions::default(),
-        );
+        let _ = bar_chart(&cats(3), &[Series::new("bad", vec![1.0])], &ChartOptions::default());
     }
 
     #[test]

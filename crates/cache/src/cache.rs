@@ -48,7 +48,7 @@ impl CacheArray {
         assert!(lines >= assoc as u64, "capacity too small for associativity");
         let sets = lines / assoc as u64;
         assert!(sets.is_power_of_two(), "sets must be a power of two (got {sets})");
-        let ways = (sets * assoc as u64) as usize;
+        let ways = coaxial_sim::idx(sets * assoc as u64);
         Self {
             tags: vec![INVALID_TAG; ways],
             stamps: vec![0; ways],
@@ -78,7 +78,7 @@ impl CacheArray {
 
     #[inline]
     fn set_range(&self, line_addr: u64) -> std::ops::Range<usize> {
-        let set = ((line_addr >> self.set_shift) & self.set_mask) as usize;
+        let set = coaxial_sim::idx((line_addr >> self.set_shift) & self.set_mask);
         set * self.assoc..(set + 1) * self.assoc
     }
 
@@ -144,7 +144,12 @@ impl CacheArray {
     /// Choose an invalid way or the LRU victim in `range` and install the
     /// line there, stamped with the current clock.
     #[inline]
-    fn insert(&mut self, range: std::ops::Range<usize>, line_addr: u64, dirty: bool) -> Option<Evicted> {
+    fn insert(
+        &mut self,
+        range: std::ops::Range<usize>,
+        line_addr: u64,
+        dirty: bool,
+    ) -> Option<Evicted> {
         let mut victim = range.start;
         let mut best = u64::MAX;
         for i in range {
@@ -231,6 +236,11 @@ impl CacheArray {
         #[cfg(target_arch = "x86_64")]
         {
             let r = self.set_range(line_addr);
+            // SAFETY: `set_range` returns indices within `self.tags`, so
+            // `as_ptr().add(r.start)` stays in bounds; `_mm_prefetch` is a
+            // pure cache hint that never dereferences, so even the
+            // `p.add(64)` second-line probe (still inside the allocation:
+            // a 16-way set spans 128 bytes of the tag array) cannot fault.
             unsafe {
                 use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
                 let p = self.tags.as_ptr().add(r.start).cast::<i8>();

@@ -335,8 +335,7 @@ mod tests {
             e.decide(i, true, i as u64 * CALM_EPOCH);
         }
         // Next decisions should CALM with probability ~1.
-        let calms =
-            (0..100u32).filter(|&i| e.decide(i, true, 11 * CALM_EPOCH + i as u64)).count();
+        let calms = (0..100u32).filter(|&i| e.decide(i, true, 11 * CALM_EPOCH + i as u64)).count();
         assert!(calms > 90, "calms = {calms}");
     }
 

@@ -105,7 +105,7 @@ impl HierarchyConfig {
             l2_bytes: 512 * 1024,
             l2_assoc: 8,
             l2_latency: 8,
-            llc_bytes_per_core: (llc_mb_per_core * 1024.0 * 1024.0) as u64,
+            llc_bytes_per_core: coaxial_sim::trunc_u64(llc_mb_per_core * 1024.0 * 1024.0),
             llc_assoc: 16,
             llc_latency: 20,
             l2_mshrs: 16,
@@ -165,11 +165,14 @@ pub struct HierStats {
     pub mem_writes: u64,
     /// CALM fetches whose data was dropped (LLC hit).
     pub wasted_mem_reads: u64,
-    /// L2-miss latency component sums, in cycles (divide by `l2_misses`).
-    pub onchip_cycles: f64,
-    pub queue_cycles: f64,
-    pub service_cycles: f64,
-    pub cxl_cycles: f64,
+    /// L2-miss latency component sums, in exact cycles (divide by
+    /// `l2_misses` for means). Integer accumulators: the latency-ledger
+    /// conservation proof — and lint T02 — require cycle sums to stay
+    /// order-independent; conversion to f64 happens at the report boundary.
+    pub onchip_cycles: u64,
+    pub queue_cycles: u64,
+    pub service_cycles: u64,
+    pub cxl_cycles: u64,
     /// Distribution of total L2-miss latency.
     pub l2_miss_latency: Histogram,
     /// L1/L2 demand hit ratios at harvest time.
@@ -184,7 +187,7 @@ impl HierStats {
         if self.l2_misses == 0 {
             0.0
         } else {
-            (self.onchip_cycles + self.queue_cycles + self.service_cycles + self.cxl_cycles)
+            (self.onchip_cycles + self.queue_cycles + self.service_cycles + self.cxl_cycles) as f64
                 / self.l2_misses as f64
         }
     }
@@ -198,10 +201,10 @@ impl HierStats {
         let n = self.l2_misses as f64;
         let k = coaxial_sim::NS_PER_CYCLE;
         (
-            self.onchip_cycles / n * k,
-            self.queue_cycles / n * k,
-            self.service_cycles / n * k,
-            self.cxl_cycles / n * k,
+            self.onchip_cycles as f64 / n * k,
+            self.queue_cycles as f64 / n * k,
+            self.service_cycles as f64 / n * k,
+            self.cxl_cycles as f64 / n * k,
         )
     }
 
@@ -226,10 +229,10 @@ impl HierStats {
         reg.set_counter(&format!("{prefix}.mem.wasted_reads"), self.wasted_mem_reads);
         reg.set_gauge(&format!("{prefix}.l1.hit_ratio"), self.l1_hit_ratio);
         reg.set_gauge(&format!("{prefix}.l2.hit_ratio"), self.l2_hit_ratio);
-        reg.set_gauge(&format!("{prefix}.onchip_cycles"), self.onchip_cycles);
-        reg.set_gauge(&format!("{prefix}.queue_cycles"), self.queue_cycles);
-        reg.set_gauge(&format!("{prefix}.service_cycles"), self.service_cycles);
-        reg.set_gauge(&format!("{prefix}.cxl_cycles"), self.cxl_cycles);
+        reg.set_gauge(&format!("{prefix}.onchip_cycles"), self.onchip_cycles as f64);
+        reg.set_gauge(&format!("{prefix}.queue_cycles"), self.queue_cycles as f64);
+        reg.set_gauge(&format!("{prefix}.service_cycles"), self.service_cycles as f64);
+        reg.set_gauge(&format!("{prefix}.cxl_cycles"), self.cxl_cycles as f64);
         reg.put_histogram(&format!("{prefix}.l2_miss_latency"), self.l2_miss_latency.clone());
         reg.set_counter(&format!("{prefix}.calm.true_pos"), self.calm.true_pos);
         reg.set_counter(&format!("{prefix}.calm.true_neg"), self.calm.true_neg);
@@ -267,12 +270,7 @@ impl PrefillState {
     /// Approximate heap footprint of the warmed arrays, in bytes — the
     /// sizing input for the byte-bounded prefill cache in `coaxial-system`.
     pub fn approx_bytes(&self) -> u64 {
-        self.l1
-            .iter()
-            .chain(&self.l2)
-            .chain(&self.llc)
-            .map(CacheArray::approx_heap_bytes)
-            .sum()
+        self.l1.iter().chain(&self.l2).chain(&self.llc).map(CacheArray::approx_heap_bytes).sum()
     }
 }
 
@@ -297,12 +295,14 @@ pub struct Hierarchy<B: MemoryBackend, T: TelemetrySink = NullTelemetry> {
 
     stride_tables: Vec<StrideTable>,
     /// Lines brought in by a prefetch and not yet touched by demand.
+    /// Keyed membership only — never iterated (lint D01).
     prefetched_lines: HashSet<u64>,
     pf_stats: PrefetchStats,
 
     txns: Vec<Option<Txn>>,
     free_txns: Vec<u32>,
     /// Memory request id → transaction (reads only; writes use WRITE_MARK).
+    /// Keyed lookup only — never iterated (lint D01).
     req_map: HashMap<u64, u32>,
     next_req_id: u64,
     next_access_id: AccessId,
@@ -341,8 +341,12 @@ impl<B: MemoryBackend, T: TelemetrySink> Hierarchy<B, T> {
             .collect();
         let mesh = Mesh::new(cfg.cores, cfg.mem_channels, cfg.noc_cycles_per_hop);
         let mshr = (0..cfg.cores).map(|_| Mshr::new(cfg.l2_mshrs)).collect();
-        let calm =
-            CalmEngine::with_epoch(cfg.calm, cfg.peak_mem_bytes_per_cycle, cfg.seed, cfg.calm_epoch);
+        let calm = CalmEngine::with_epoch(
+            cfg.calm,
+            cfg.peak_mem_bytes_per_cycle,
+            cfg.seed,
+            cfg.calm_epoch,
+        );
         Self {
             l1,
             l2,
@@ -406,13 +410,13 @@ impl<B: MemoryBackend, T: TelemetrySink> Hierarchy<B, T> {
         // Mix the bits so strided streams spread over banks.
         let mut x = line;
         x = (x ^ (x >> 17)).wrapping_mul(0xED5A_D4BB_AC4C_1B51);
-        (x % self.cfg.cores as u64) as usize
+        coaxial_sim::idx(x % self.cfg.cores as u64)
     }
 
     /// Memory-controller tile serving a line (matches backend interleave).
     #[inline]
     fn mc_of(&self, line: u64) -> usize {
-        (line % self.cfg.mem_channels as u64) as usize
+        coaxial_sim::idx(line % self.cfg.mem_channels as u64)
     }
 
     fn alloc_txn(&mut self, txn: Txn) -> u32 {
@@ -421,7 +425,7 @@ impl<B: MemoryBackend, T: TelemetrySink> Hierarchy<B, T> {
             id
         } else {
             self.txns.push(Some(txn));
-            (self.txns.len() - 1) as u32
+            coaxial_sim::small_u32(self.txns.len() - 1)
         }
     }
 
@@ -526,7 +530,7 @@ impl<B: MemoryBackend, T: TelemetrySink> Hierarchy<B, T> {
             }
             // Account the LLC-hit L2 miss as pure on-chip time.
             let latency = llc_result_at - t_l2_miss;
-            self.stats.onchip_cycles += latency as f64;
+            self.stats.onchip_cycles += latency;
             self.stats.l2_miss_latency.record(latency);
             if T::ENABLED {
                 // Conservation: total = 2*noc_to_bank + llc_latency = noc + llc.
@@ -548,7 +552,7 @@ impl<B: MemoryBackend, T: TelemetrySink> Hierarchy<B, T> {
                 self.tel.on_span(TraceEvent {
                     name: "llc_hit",
                     cat: "cache",
-                    pid: trace_pid::LLC_BANK_BASE + bank as u32,
+                    pid: trace_pid::LLC_BANK_BASE + coaxial_sim::small_u32(bank),
                     tid: core,
                     start: t_l2_miss,
                     dur: latency,
@@ -599,8 +603,7 @@ impl<B: MemoryBackend, T: TelemetrySink> Hierarchy<B, T> {
     /// peeked), fill the LLC and L2 on return, and never block a core.
     fn issue_prefetches(&mut self, core: u32, pc: u32, line: u64, t_l2_miss: Cycle) {
         let c = core as usize;
-        let cands =
-            prefetch::candidates(self.cfg.prefetch, &mut self.stride_tables[c], pc, line);
+        let cands = prefetch::candidates(self.cfg.prefetch, &mut self.stride_tables[c], pc, line);
         for cand in cands {
             // Reserve headroom in the MSHRs for demand misses.
             if self.mshr[c].len() + 4 > self.mshr[c].capacity() {
@@ -848,8 +851,7 @@ impl<B: MemoryBackend, T: TelemetrySink> Hierarchy<B, T> {
             let mc = self.mc_of(line);
             let arrival = resp.completed_at + self.mesh.tile_to_mc(core, mc);
             if T::ENABLED {
-                self.txns[txn_id as usize].as_mut().expect("live txn").mem_arrival =
-                    Some(arrival);
+                self.txns[txn_id as usize].as_mut().expect("live txn").mem_arrival = Some(arrival);
             }
             let ready = if calm { arrival.max(llc_result_at) } else { arrival };
             self.finish_events.push(Reverse(Finish { at: ready, txn: txn_id }));
@@ -901,10 +903,10 @@ impl<B: MemoryBackend, T: TelemetrySink> Hierarchy<B, T> {
         let total = at - txn.t_l2_miss;
         let queue = rq + (enq - txn.mem_issue_desired);
         let onchip = total.saturating_sub(queue + rs + rc);
-        self.stats.onchip_cycles += onchip as f64;
-        self.stats.queue_cycles += queue as f64;
-        self.stats.service_cycles += rs as f64;
-        self.stats.cxl_cycles += rc as f64;
+        self.stats.onchip_cycles += onchip;
+        self.stats.queue_cycles += queue;
+        self.stats.service_cycles += rs;
+        self.stats.cxl_cycles += rc;
         self.stats.l2_miss_latency.record(total);
 
         if T::ENABLED {
@@ -932,12 +934,11 @@ impl<B: MemoryBackend, T: TelemetrySink> Hierarchy<B, T> {
             };
             let overlap = at - txn.mem_arrival.unwrap_or(at);
             let issue_wait = enq - txn.mem_issue_desired;
-            let dram_queue =
-                total.saturating_sub(noc + llc + issue_wait + rs + rc + overlap);
+            let dram_queue = total.saturating_sub(noc + llc + issue_wait + rs + rc + overlap);
             self.tel.on_miss(&MissRecord {
                 core: txn.core,
                 line: txn.line,
-                channel: mc as u32,
+                channel: coaxial_sim::small_u32(mc),
                 calm: txn.calm,
                 llc_hit: false,
                 t_l2_miss: txn.t_l2_miss,
@@ -963,7 +964,7 @@ impl<B: MemoryBackend, T: TelemetrySink> Hierarchy<B, T> {
             self.tel.on_span(TraceEvent {
                 name: "mem",
                 cat: "mem",
-                pid: trace_pid::MEM_CHANNEL_BASE + mc as u32,
+                pid: trace_pid::MEM_CHANNEL_BASE + coaxial_sim::small_u32(mc),
                 tid: txn.core,
                 start: enq,
                 dur: rq + rs + rc,
@@ -1069,7 +1070,7 @@ mod tests {
     impl Driver {
         fn new(calm: CalmPolicy) -> Self {
             let cfg = HierarchyConfig::table_iii(4, 1, 2.0, 38.4, calm);
-            let backend = MultiChannel::new(DramConfig::ddr5_4800(), 1);
+            let backend = MultiChannel::new(&DramConfig::ddr5_4800(), 1);
             Self { h: Hierarchy::new(cfg, backend), now: 0 }
         }
 
@@ -1194,10 +1195,7 @@ mod tests {
         };
         let serial = run(CalmPolicy::Serial);
         let ideal = run(CalmPolicy::Ideal);
-        assert!(
-            ideal <= serial + 1.0,
-            "ideal CALM {ideal:.1} must not exceed serial {serial:.1}"
-        );
+        assert!(ideal <= serial + 1.0, "ideal CALM {ideal:.1} must not exceed serial {serial:.1}");
     }
 
     #[test]

@@ -27,7 +27,7 @@ impl Mesh {
     /// alternate left/right edges, spread over the rows.
     pub fn new(tiles: usize, mem_channels: usize, cycles_per_hop: Cycle) -> Self {
         assert!(tiles > 0 && mem_channels > 0);
-        let cols = (tiles as f64).sqrt().ceil() as usize;
+        let cols = coaxial_sim::trunc_usize((tiles as f64).sqrt().ceil());
         let rows = tiles.div_ceil(cols);
         let mc_tiles = (0..mem_channels)
             .map(|i| {

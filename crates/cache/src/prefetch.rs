@@ -93,21 +93,16 @@ impl StrideTable {
 }
 
 /// Compute the prefetch candidate lines for a demand miss.
-pub fn candidates(
-    policy: PrefetchPolicy,
-    table: &mut StrideTable,
-    pc: u32,
-    line: u64,
-) -> Vec<u64> {
+pub fn candidates(policy: PrefetchPolicy, table: &mut StrideTable, pc: u32, line: u64) -> Vec<u64> {
     match policy {
         PrefetchPolicy::None => Vec::new(),
         PrefetchPolicy::NextLine { degree } => {
             (1..=degree as u64).map(|d| line.wrapping_add(d)).collect()
         }
         PrefetchPolicy::IpStride { degree } => match table.observe(pc, line) {
-            Some(stride) => (1..=degree as i64)
-                .map(|d| line.wrapping_add((stride * d) as u64))
-                .collect(),
+            Some(stride) => {
+                (1..=degree as i64).map(|d| line.wrapping_add((stride * d) as u64)).collect()
+            }
             None => Vec::new(),
         },
     }

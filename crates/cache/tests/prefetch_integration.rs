@@ -11,7 +11,7 @@ fn hierarchy(prefetch: PrefetchPolicy) -> Hierarchy<MultiChannel> {
         prefetch,
         ..HierarchyConfig::table_iii(1, 1, 1.0, 38.4, CalmPolicy::Serial)
     };
-    Hierarchy::new(cfg, MultiChannel::new(DramConfig::ddr5_4800(), 1))
+    Hierarchy::new(cfg, MultiChannel::new(&DramConfig::ddr5_4800(), 1))
 }
 
 /// Drive a single-core access pattern to completion; returns total cycles.
@@ -94,10 +94,7 @@ fn next_line_helps_latency_on_streams() {
     let t_on = run(&mut on, &lines, 0x30);
     // The paced driver absorbs most of the latency, so the win is small —
     // but prefetching must never cost more than noise on a pure stream.
-    assert!(
-        t_on <= t_off + t_off / 20,
-        "next-line must not slow a pure stream: {t_on} vs {t_off}"
-    );
+    assert!(t_on <= t_off + t_off / 20, "next-line must not slow a pure stream: {t_on} vs {t_off}");
     let st = on.stats();
     assert!(st.prefetch.useful > 100, "stream prefetches get used: {}", st.prefetch.useful);
 }

@@ -6,8 +6,8 @@ use std::collections::HashMap;
 
 use proptest::prelude::*;
 
-use coaxial_cache::{CacheArray, CalmPolicy, Hierarchy, HierarchyConfig};
 use coaxial_cache::hierarchy::AccessResult;
+use coaxial_cache::{CacheArray, CalmPolicy, Hierarchy, HierarchyConfig};
 use coaxial_dram::{DramConfig, MultiChannel};
 
 /// Exact reference model of a set-associative LRU cache.
@@ -98,7 +98,7 @@ proptest! {
 
 fn hierarchy() -> Hierarchy<MultiChannel> {
     let cfg = HierarchyConfig::table_iii(2, 1, 1.0, 38.4, CalmPolicy::CalmR { r: 0.7 });
-    Hierarchy::new(cfg, MultiChannel::new(DramConfig::ddr5_4800(), 1))
+    Hierarchy::new(cfg, MultiChannel::new(&DramConfig::ddr5_4800(), 1))
 }
 
 proptest! {

@@ -85,6 +85,7 @@ pub struct Core {
     /// Deterministic-latency completions (cache hits) scheduled ahead.
     scheduled: BinaryHeap<Reverse<(Cycle, u64)>>,
     /// Outstanding hierarchy accesses → entry seq.
+    /// Keyed lookup only — never iterated (lint D01).
     outstanding: HashMap<AccessId, u64>,
 
     /// Retired instructions since the last stats reset.
@@ -148,7 +149,7 @@ impl Core {
         if seq < self.head_seq {
             return true;
         }
-        match self.rob.get((seq - self.head_seq) as usize) {
+        match self.rob.get(coaxial_sim::idx(seq - self.head_seq)) {
             Some(Entry::Mem { done, .. }) => *done,
             Some(Entry::NonMem { .. }) | None => true,
         }
@@ -159,7 +160,9 @@ impl Core {
         if seq < self.head_seq {
             return; // already retired (e.g. a store)
         }
-        if let Some(Entry::Mem { done, .. }) = self.rob.get_mut((seq - self.head_seq) as usize) {
+        if let Some(Entry::Mem { done, .. }) =
+            self.rob.get_mut(coaxial_sim::idx(seq - self.head_seq))
+        {
             *done = true;
         }
     }
@@ -237,8 +240,8 @@ impl Core {
                 // Merge with a NonMem tail entry when it is also the head
                 // (merging deeper entries would desynchronize head_seq
                 // arithmetic), keeping the ROB deque short for long gaps.
-                let tail_is_lone_nonmem = self.rob.len() == 1
-                    && matches!(self.rob.back(), Some(Entry::NonMem { .. }));
+                let tail_is_lone_nonmem =
+                    self.rob.len() == 1 && matches!(self.rob.back(), Some(Entry::NonMem { .. }));
                 if tail_is_lone_nonmem {
                     if let Some(Entry::NonMem { remaining }) = self.rob.back_mut() {
                         *remaining += k;
@@ -271,7 +274,8 @@ impl Core {
         // 3. Issue ready memory ops (out of order, within the window).
         let mut issued = 0;
         let mut i = 0;
-        while issued < self.params.issue_width && i < self.waiting.len().min(self.params.issue_window)
+        while issued < self.params.issue_width
+            && i < self.waiting.len().min(self.params.issue_window)
         {
             let op = self.waiting[i];
             let ready = op.dep.is_none_or(|d| self.entry_done(d));
@@ -368,7 +372,7 @@ mod tests {
 
     fn hierarchy() -> Hierarchy<MultiChannel> {
         let cfg = HierarchyConfig::table_iii(1, 1, 2.0, 38.4, CalmPolicy::Serial);
-        Hierarchy::new(cfg, MultiChannel::new(DramConfig::ddr5_4800(), 1))
+        Hierarchy::new(cfg, MultiChannel::new(&DramConfig::ddr5_4800(), 1))
     }
 
     fn run(core: &mut Core, h: &mut Hierarchy<MultiChannel>, target: u64, limit: Cycle) -> Cycle {

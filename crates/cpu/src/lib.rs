@@ -16,6 +16,9 @@
 //! stream: each record carries the number of non-memory instructions that
 //! precede a memory operation, plus the operation itself.
 
+// No unsafe anywhere in this crate (lint U01 audit); keep it that way.
+#![forbid(unsafe_code)]
+
 pub mod core;
 pub mod trace;
 pub mod tracefile;

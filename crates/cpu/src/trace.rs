@@ -38,13 +38,7 @@ impl TraceOp {
     }
 
     pub fn load(gap: u32, line_addr: u64, pc: u32) -> Self {
-        Self {
-            nonmem_before: gap,
-            kind: MemKind::Load,
-            line_addr,
-            pc,
-            depends_on_last_load: false,
-        }
+        Self { nonmem_before: gap, kind: MemKind::Load, line_addr, pc, depends_on_last_load: false }
     }
 
     pub fn store(gap: u32, line_addr: u64, pc: u32) -> Self {

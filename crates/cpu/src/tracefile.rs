@@ -61,7 +61,7 @@ pub fn read_trace(path: &Path) -> io::Result<Vec<TraceOp>> {
             format!("unsupported trace version {version}"),
         ));
     }
-    let count = u64::from_le_bytes(header[8..16].try_into().unwrap()) as usize;
+    let count = coaxial_sim::idx(u64::from_le_bytes(header[8..16].try_into().unwrap()));
     let mut ops = Vec::with_capacity(count);
     let mut rec = [0u8; RECORD_BYTES];
     for _ in 0..count {

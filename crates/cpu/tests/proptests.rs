@@ -29,7 +29,7 @@ fn arb_trace() -> impl Strategy<Value = Vec<TraceOp>> {
 fn run_core(ops: Vec<TraceOp>, target: u64, limit: u64) -> (u64, u64) {
     let mut core = Core::new(0, CoreParams::default(), Box::new(VecTrace::new(ops)));
     let cfg = HierarchyConfig::table_iii(1, 1, 1.0, 38.4, CalmPolicy::Serial);
-    let mut h = Hierarchy::new(cfg, MultiChannel::new(DramConfig::ddr5_4800(), 1));
+    let mut h = Hierarchy::new(cfg, MultiChannel::new(&DramConfig::ddr5_4800(), 1));
     for now in 0..limit {
         h.tick(now);
         while let Some((_, id)) = h.pop_completion() {

@@ -15,10 +15,10 @@
 
 use std::collections::VecDeque;
 
-use coaxial_sim::{BoundedQueue, Cycle};
 use coaxial_dram::{
     Channel as DdrChannel, ChannelStats, DramConfig, MemRequest, MemResponse, MemoryBackend,
 };
+use coaxial_sim::{BoundedQueue, Cycle};
 
 use crate::config::CxlLinkConfig;
 
@@ -64,7 +64,7 @@ pub struct CxlChannel {
 }
 
 impl CxlChannel {
-    pub fn new(cfg: CxlLinkConfig, dram_cfg: DramConfig) -> Self {
+    pub fn new(cfg: CxlLinkConfig, dram_cfg: &DramConfig) -> Self {
         let ddr =
             (0..cfg.ddr_channels_per_device).map(|_| DdrChannel::new(dram_cfg.clone())).collect();
         Self {
@@ -100,7 +100,7 @@ impl CxlChannel {
     #[inline]
     fn route(&self, line_addr: u64) -> (usize, u64) {
         let n = self.ddr.len() as u64;
-        ((line_addr % n) as usize, line_addr / n)
+        (coaxial_sim::idx(line_addr % n), line_addr / n)
     }
 
     /// Advance one cycle.
@@ -123,11 +123,8 @@ impl CxlChannel {
         if now >= self.rx_free_at {
             if let Some(resp) = self.resp_wait.pop_front() {
                 // Read responses carry a 64 B line; write acks are headers.
-                let occ = if resp.is_write {
-                    self.cfg.rx_header_cycles
-                } else {
-                    self.cfg.rx_line_cycles
-                };
+                let occ =
+                    if resp.is_write { self.cfg.rx_header_cycles } else { self.cfg.rx_line_cycles };
                 self.rx_free_at = now + occ;
                 self.rx_busy += occ;
                 let arrives_at = now + occ + 2 * self.cfg.port_latency;
@@ -298,7 +295,7 @@ mod tests {
     use coaxial_sim::cycles_to_ns;
 
     fn channel() -> CxlChannel {
-        CxlChannel::new(CxlLinkConfig::x8_symmetric(), DramConfig::ddr5_4800())
+        CxlChannel::new(CxlLinkConfig::x8_symmetric(), &DramConfig::ddr5_4800())
     }
 
     fn run_to_completion(ch: &mut CxlChannel, n: usize, limit: Cycle) -> Vec<MemResponse> {
@@ -356,13 +353,13 @@ mod tests {
 
     #[test]
     fn asym_device_has_two_ddr_channels() {
-        let ch = CxlChannel::new(CxlLinkConfig::x8_asymmetric(), DramConfig::ddr5_4800());
+        let ch = CxlChannel::new(CxlLinkConfig::x8_asymmetric(), &DramConfig::ddr5_4800());
         assert_eq!(ch.ddr_channel_count(), 2);
     }
 
     #[test]
     fn asym_spreads_load_over_both_ddr_channels() {
-        let mut ch = CxlChannel::new(CxlLinkConfig::x8_asymmetric(), DramConfig::ddr5_4800());
+        let mut ch = CxlChannel::new(CxlLinkConfig::x8_asymmetric(), &DramConfig::ddr5_4800());
         for i in 0..64u64 {
             ch.try_enqueue(MemRequest::read(i, i, 0)).unwrap();
         }

@@ -2,8 +2,8 @@
 //! [`MemoryBackend`] interface. This is what replaces the baseline's
 //! direct-attached [`coaxial_dram::MultiChannel`] in a COAXIAL server.
 
-use coaxial_sim::Cycle;
 use coaxial_dram::{ChannelStats, DramConfig, MemRequest, MemResponse, MemoryBackend};
+use coaxial_sim::Cycle;
 
 use crate::channel::CxlChannel;
 use crate::config::CxlLinkConfig;
@@ -15,12 +15,10 @@ pub struct CxlMemory {
 }
 
 impl CxlMemory {
-    pub fn new(link_cfg: CxlLinkConfig, dram_cfg: DramConfig, channels: usize) -> Self {
+    pub fn new(link_cfg: &CxlLinkConfig, dram_cfg: &DramConfig, channels: usize) -> Self {
         assert!(channels > 0);
         Self {
-            channels: (0..channels)
-                .map(|_| CxlChannel::new(link_cfg.clone(), dram_cfg.clone()))
-                .collect(),
+            channels: (0..channels).map(|_| CxlChannel::new(link_cfg.clone(), dram_cfg)).collect(),
             now: 0,
         }
     }
@@ -28,7 +26,7 @@ impl CxlMemory {
     #[inline]
     fn route(&self, line_addr: u64) -> (usize, u64) {
         let n = self.channels.len() as u64;
-        ((line_addr % n) as usize, line_addr / n)
+        (coaxial_sim::idx(line_addr % n), line_addr / n)
     }
 
     /// Aggregated DDR stats across all Type-3 devices.
@@ -167,15 +165,15 @@ mod tests {
 
     #[test]
     fn four_channel_memory_reports_four_ddr_channels() {
-        let m = CxlMemory::new(CxlLinkConfig::x8_symmetric(), DramConfig::ddr5_4800(), 4);
+        let m = CxlMemory::new(&CxlLinkConfig::x8_symmetric(), &DramConfig::ddr5_4800(), 4);
         assert_eq!(m.ddr_channel_count(), 4);
-        let asym = CxlMemory::new(CxlLinkConfig::x8_asymmetric(), DramConfig::ddr5_4800(), 4);
+        let asym = CxlMemory::new(&CxlLinkConfig::x8_asymmetric(), &DramConfig::ddr5_4800(), 4);
         assert_eq!(asym.ddr_channel_count(), 8, "asym devices carry 2 DDR channels");
     }
 
     #[test]
     fn addresses_round_trip_through_two_levels_of_interleave() {
-        let mut m = CxlMemory::new(CxlLinkConfig::x8_asymmetric(), DramConfig::ddr5_4800(), 4);
+        let mut m = CxlMemory::new(&CxlLinkConfig::x8_asymmetric(), &DramConfig::ddr5_4800(), 4);
         let addrs: Vec<u64> = (0..64).map(|i| i * 7 + 5).collect();
         let reqs: Vec<_> =
             addrs.iter().enumerate().map(|(i, &a)| MemRequest::read(i as u64, a, 0)).collect();
@@ -190,9 +188,10 @@ mod tests {
     #[test]
     fn more_channels_reduce_loaded_latency() {
         // Saturating random read stream against 1 vs 4 CXL channels.
-        let reqs: Vec<_> = (0..600u64).map(|i| MemRequest::read(i, i * 1031 % 100_000, 0)).collect();
-        let mut m1 = CxlMemory::new(CxlLinkConfig::x8_symmetric(), DramConfig::ddr5_4800(), 1);
-        let mut m4 = CxlMemory::new(CxlLinkConfig::x8_symmetric(), DramConfig::ddr5_4800(), 4);
+        let reqs: Vec<_> =
+            (0..600u64).map(|i| MemRequest::read(i, i * 1031 % 100_000, 0)).collect();
+        let mut m1 = CxlMemory::new(&CxlLinkConfig::x8_symmetric(), &DramConfig::ddr5_4800(), 1);
+        let mut m4 = CxlMemory::new(&CxlLinkConfig::x8_symmetric(), &DramConfig::ddr5_4800(), 4);
         let r1 = run(&mut m1, reqs.clone(), 5_000_000);
         let r4 = run(&mut m4, reqs, 5_000_000);
         assert_eq!(r1.len(), 600);

@@ -10,7 +10,7 @@ fn arb_stream() -> impl Strategy<Value = Vec<(u64, bool)>> {
 }
 
 fn drive_channel(cfg: CxlLinkConfig, reqs: &[(u64, bool)]) -> Vec<MemResponse> {
-    let mut ch = CxlChannel::new(cfg, DramConfig::ddr5_4800());
+    let mut ch = CxlChannel::new(cfg, &DramConfig::ddr5_4800());
     let mut pending: std::collections::VecDeque<_> = reqs.iter().enumerate().collect();
     let mut out = Vec::new();
     for now in 0..20_000_000u64 {
@@ -81,7 +81,7 @@ proptest! {
     #[test]
     fn memory_interleave_conserves(reqs in arb_stream(), channels in 1usize..5) {
         let mut m =
-            CxlMemory::new(CxlLinkConfig::x8_symmetric(), DramConfig::ddr5_4800(), channels);
+            CxlMemory::new(&CxlLinkConfig::x8_symmetric(), &DramConfig::ddr5_4800(), channels);
         let mut pending: std::collections::VecDeque<_> = reqs.iter().enumerate().collect();
         let mut got = Vec::new();
         for now in 0..20_000_000u64 {

@@ -69,7 +69,11 @@ pub fn audit(t: &DramTimings, log: &[CmdRecord], num_banks: usize) -> Vec<Violat
     for r in log {
         let now = r.cycle;
         if r.kind != CmdKind::RefAb && now < refresh_busy_until {
-            fail(now, "tRFC", format!("{:?} during refresh (busy until {refresh_busy_until})", r.kind));
+            fail(
+                now,
+                "tRFC",
+                format!("{:?} during refresh (busy until {refresh_busy_until})", r.kind),
+            );
         }
         match r.kind {
             CmdKind::Act => {
@@ -128,9 +132,11 @@ pub fn audit(t: &DramTimings, log: &[CmdRecord], num_banks: usize) -> Vec<Violat
                 let b = &banks[r.bank];
                 match b.open_row {
                     None => fail(now, "CAS-on-closed", format!("bank {} closed", r.bank)),
-                    Some(open) if open != r.row => {
-                        fail(now, "CAS-wrong-row", format!("bank {}: open {open}, CAS {}", r.bank, r.row))
-                    }
+                    Some(open) if open != r.row => fail(
+                        now,
+                        "CAS-wrong-row",
+                        format!("bank {}: open {open}, CAS {}", r.bank, r.row),
+                    ),
                     _ => {}
                 }
                 if let Some(act) = b.last_act {
@@ -157,7 +163,11 @@ pub fn audit(t: &DramTimings, log: &[CmdRecord], num_banks: usize) -> Vec<Violat
                     let their_end = at + if was_write { t.cwl } else { t.cl } + t.t_burst;
                     if was_write == is_write {
                         if my_start < their_end {
-                            fail(now, "bus-overlap", format!("burst at {my_start} overlaps {their_end}"));
+                            fail(
+                                now,
+                                "bus-overlap",
+                                format!("burst at {my_start} overlaps {their_end}"),
+                            );
                         }
                     } else if my_start < their_end + t.t_turnaround {
                         fail(
@@ -226,12 +236,8 @@ mod tests {
     #[test]
     fn legal_sequence_passes() {
         let t = t();
-        let log = vec![
-            act(0, 0, 5),
-            rd(t.t_rcd, 0, 5),
-            pre(t.t_ras, 0),
-            act(t.t_ras + t.t_rp, 0, 6),
-        ];
+        let log =
+            vec![act(0, 0, 5), rd(t.t_rcd, 0, 5), pre(t.t_ras, 0), act(t.t_ras + t.t_rp, 0, 6)];
         assert!(audit(&t, &log, 32).is_empty());
     }
 
@@ -266,7 +272,7 @@ mod tests {
         let mut t = t();
         t.t_faw = 4 * t.t_rrd_s + 8;
         let log: Vec<CmdRecord> =
-            (0..5).map(|i| act(i * t.t_rrd_s, (i as usize) * 4 % 32, 1)).collect();
+            (0..5).map(|i| act(i * t.t_rrd_s, coaxial_sim::idx(i) * 4 % 32, 1)).collect();
         let v = audit(&t, &log, 32);
         assert!(v.iter().any(|x| x.rule == "tFAW"), "{v:?}");
         // And the stock DDR5 stream at exactly 4 × tRRD_S is legal.

@@ -80,18 +80,10 @@ impl Bank {
     pub fn cas(&mut self, is_write: bool, now: Cycle, t: &DramTimings) {
         debug_assert!(now >= self.earliest_cas, "illegal CAS at {now}");
         debug_assert!(self.open_row.is_some());
-        let data_end = if is_write {
-            now + t.cwl + t.t_burst
-        } else {
-            now + t.cl + t.t_burst
-        };
+        let data_end = if is_write { now + t.cwl + t.t_burst } else { now + t.cl + t.t_burst };
         // PRE must respect tRAS (already folded into earliest_pre), read-to-
         // precharge (tRTP from CAS), and write recovery (tWR from data end).
-        let pre_after = if is_write {
-            data_end + t.t_wr
-        } else {
-            now + t.t_rtp
-        };
+        let pre_after = if is_write { data_end + t.t_wr } else { now + t.t_rtp };
         self.earliest_pre = self.earliest_pre.max(pre_after);
         // Back-to-back CAS spacing to the *same bank* is at least tCCD_L;
         // the channel enforces the cross-bank-group variant.

@@ -136,7 +136,7 @@ impl Channel {
     #[inline]
     fn route(&self, line_addr: u64) -> (usize, u64) {
         let n = self.subs.len() as u64;
-        ((line_addr % n) as usize, line_addr / n)
+        (coaxial_sim::idx(line_addr % n), line_addr / n)
     }
 
     /// Whether the target sub-channel queue has room for this request.

@@ -89,22 +89,22 @@ impl DramTimings {
     /// rounded to 0.41667 ns clocks).
     pub fn ddr5_4800() -> Self {
         Self {
-            cl: 40,       // 16.67 ns
-            cwl: 38,      // 15.83 ns
-            t_rcd: 40,    // 16.67 ns
-            t_rp: 40,     // 16.67 ns
-            t_ras: 77,    // 32 ns
-            t_rc: 117,    // 48.67 ns
-            t_ccd_l: 12,  // 5 ns
-            t_ccd_s: 8,   // burst length
-            t_rrd_l: 12,  // 5 ns
+            cl: 40,      // 16.67 ns
+            cwl: 38,     // 15.83 ns
+            t_rcd: 40,   // 16.67 ns
+            t_rp: 40,    // 16.67 ns
+            t_ras: 77,   // 32 ns
+            t_rc: 117,   // 48.67 ns
+            t_ccd_l: 12, // 5 ns
+            t_ccd_s: 8,  // burst length
+            t_rrd_l: 12, // 5 ns
             t_rrd_s: 8,
-            t_faw: 32,    // 13.33 ns
-            t_wr: 72,     // 30 ns
-            t_rtp: 18,    // 7.5 ns
-            t_wtr_l: 24,  // 10 ns
-            t_wtr_s: 6,   // 2.5 ns
-            t_burst: 8,   // 64 B over 32-bit bus at 2 beats/clock
+            t_faw: 32,   // 13.33 ns
+            t_wr: 72,    // 30 ns
+            t_rtp: 18,   // 7.5 ns
+            t_wtr_l: 24, // 10 ns
+            t_wtr_s: 6,  // 2.5 ns
+            t_burst: 8,  // 64 B over 32-bit bus at 2 beats/clock
             t_turnaround: 2,
             t_refi: 9360, // 3.9 µs
             t_rfc: 708,   // 295 ns (16 Gb die, JESD79-5 tRFC1)

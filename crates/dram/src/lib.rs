@@ -15,6 +15,9 @@
 //! in the paper (Fig. 2a), so the scheduler and timing machinery are the
 //! most carefully tested part of the reproduction.
 
+// No unsafe anywhere in this crate (lint U01 audit); keep it that way.
+#![forbid(unsafe_code)]
+
 pub mod audit;
 pub mod bank;
 pub mod channel;
@@ -25,8 +28,8 @@ pub mod request;
 pub mod subchannel;
 
 pub use channel::{Channel, ChannelStats};
-pub use multi::MultiChannel;
 pub use config::{DramConfig, DramTimings};
+pub use multi::MultiChannel;
 pub use power::{DramEnergy, DramPowerParams};
 pub use request::{MemRequest, MemResponse, ReqId};
 

@@ -15,7 +15,7 @@ pub struct MultiChannel {
 }
 
 impl MultiChannel {
-    pub fn new(cfg: DramConfig, channels: usize) -> Self {
+    pub fn new(cfg: &DramConfig, channels: usize) -> Self {
         assert!(channels > 0);
         Self { channels: (0..channels).map(|_| Channel::new(cfg.clone())).collect() }
     }
@@ -23,7 +23,7 @@ impl MultiChannel {
     #[inline]
     fn route(&self, line_addr: u64) -> (usize, u64) {
         let n = self.channels.len() as u64;
-        ((line_addr % n) as usize, line_addr / n)
+        (coaxial_sim::idx(line_addr % n), line_addr / n)
     }
 
     /// Aggregated stats across channels.
@@ -117,7 +117,7 @@ mod tests {
 
     #[test]
     fn requests_spread_across_channels() {
-        let mut m = MultiChannel::new(DramConfig::ddr5_4800(), 4);
+        let mut m = MultiChannel::new(&DramConfig::ddr5_4800(), 4);
         for i in 0..64u64 {
             m.try_enqueue(MemRequest::read(i, i, 0)).unwrap();
         }
@@ -140,7 +140,7 @@ mod tests {
 
     #[test]
     fn addresses_round_trip() {
-        let mut m = MultiChannel::new(DramConfig::ddr5_4800(), 3);
+        let mut m = MultiChannel::new(&DramConfig::ddr5_4800(), 3);
         let addrs = [5u64, 17, 33, 100, 101, 102];
         for (i, &a) in addrs.iter().enumerate() {
             m.try_enqueue(MemRequest::read(i as u64, a, 0)).unwrap();

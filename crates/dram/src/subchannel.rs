@@ -16,7 +16,6 @@ use crate::bank::Bank;
 use crate::config::{AddressMapping, DramConfig, PagePolicy};
 use crate::request::{MemRequest, MemResponse};
 
-
 /// Physical coordinates of a line within a sub-channel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DecodedAddr {
@@ -162,9 +161,9 @@ impl SubChannel {
             // hop to the next bank group.
             AddressMapping::RowBankColumn => {
                 let mut a = local_line >> col_bits;
-                let bg = (a & ((1 << bg_bits) - 1)) as usize;
+                let bg = coaxial_sim::idx(a & ((1 << bg_bits) - 1));
                 a >>= bg_bits;
-                let ba = (a & ((1 << ba_bits) - 1)) as usize;
+                let ba = coaxial_sim::idx(a & ((1 << ba_bits) - 1));
                 a >>= ba_bits;
                 (bg, ba, a % self.cfg.rows)
             }
@@ -172,19 +171,15 @@ impl SubChannel {
             // banks before advancing the column.
             AddressMapping::RowColumnBank => {
                 let mut a = local_line;
-                let bg = (a & ((1 << bg_bits) - 1)) as usize;
+                let bg = coaxial_sim::idx(a & ((1 << bg_bits) - 1));
                 a >>= bg_bits;
-                let ba = (a & ((1 << ba_bits) - 1)) as usize;
+                let ba = coaxial_sim::idx(a & ((1 << ba_bits) - 1));
                 a >>= ba_bits;
                 a >>= col_bits;
                 (bg, ba, a % self.cfg.rows)
             }
         };
-        DecodedAddr {
-            bank_group,
-            bank: bank_group * self.cfg.banks_per_group + bank_in_group,
-            row,
-        }
+        DecodedAddr { bank_group, bank: bank_group * self.cfg.banks_per_group + bank_in_group, row }
     }
 
     pub fn read_q_len(&self) -> usize {
@@ -283,11 +278,9 @@ impl SubChannel {
                     .take(2 * self.cfg.sched_window)
                     .any(|e| e.addr.bank == bank && e.addr.row == row)
             };
-            let victim = self.banks.iter().enumerate().find_map(|(i, b)| {
-                match b.open_row {
-                    Some(row) if b.can_precharge(now) && !wanted(i, row) => Some(i),
-                    _ => None,
-                }
+            let victim = self.banks.iter().enumerate().find_map(|(i, b)| match b.open_row {
+                Some(row) if b.can_precharge(now) && !wanted(i, row) => Some(i),
+                _ => None,
             });
             if let Some(i) = victim {
                 self.banks[i].precharge(now, &t);
@@ -370,7 +363,8 @@ impl SubChannel {
         let mut chosen = None;
         for (i, e) in q.iter().take(self.cfg.sched_window).enumerate() {
             let bank = &self.banks[e.addr.bank];
-            if bank.can_cas(e.addr.row, now) && self.cas_legal(e.addr.bank_group, e.req.is_write, now)
+            if bank.can_cas(e.addr.row, now)
+                && self.cas_legal(e.addr.bank_group, e.req.is_write, now)
             {
                 chosen = Some(i);
                 break;
@@ -384,7 +378,12 @@ impl SubChannel {
         };
         let is_write = e.req.is_write;
         self.banks[e.addr.bank].cas(is_write, now, &t);
-        self.log_cmd(now, if is_write { CmdKind::Wr } else { CmdKind::Rd }, e.addr.bank, e.addr.row);
+        self.log_cmd(
+            now,
+            if is_write { CmdKind::Wr } else { CmdKind::Rd },
+            e.addr.bank,
+            e.addr.row,
+        );
         if e.first_cmd.is_none() {
             e.first_cmd = Some(now);
         }
@@ -459,9 +458,7 @@ impl SubChannel {
                         }
                     }
                     None => {
-                        if bank.can_activate(now)
-                            && self.act_legal(e.addr.bank_group, now)
-                        {
+                        if bank.can_activate(now) && self.act_legal(e.addr.bank_group, now) {
                             cmd = Some((i, Cmd::Act(e.addr.bank, e.addr.row)));
                             break;
                         }
@@ -612,9 +609,9 @@ impl SubChannel {
 
     /// Total row-buffer outcomes across banks: (hits, misses, conflicts).
     pub fn row_outcomes(&self) -> (u64, u64, u64) {
-        self.banks.iter().fold((0, 0, 0), |(h, m, c), b| {
-            (h + b.row_hits, m + b.row_misses, c + b.row_conflicts)
-        })
+        self.banks
+            .iter()
+            .fold((0, 0, 0), |(h, m, c), b| (h + b.row_hits, m + b.row_misses, c + b.row_conflicts))
     }
 }
 

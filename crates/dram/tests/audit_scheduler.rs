@@ -4,8 +4,8 @@
 //! command fails these tests even if it never corrupts a result.
 
 use coaxial_dram::audit::{audit, CmdKind};
-use coaxial_dram::{Channel, DramConfig, MemRequest, MemoryBackend};
 use coaxial_dram::config::PagePolicy;
+use coaxial_dram::{Channel, DramConfig, MemRequest, MemoryBackend};
 use coaxial_sim::SplitMix64;
 
 fn logged_config() -> DramConfig {
@@ -28,7 +28,7 @@ fn run_and_log(
     let mut done = 0usize;
     for now in 0..20_000_000u64 {
         ch.tick(now);
-        while (issued as usize) < n {
+        while coaxial_sim::idx(issued) < n {
             let (addr, is_write) = gen(issued, &mut rng);
             let req = if is_write {
                 MemRequest::write(issued, addr, now)
@@ -196,9 +196,6 @@ fn fine_grained_bank_interleave_is_jedec_legal_but_row_hostile() {
     };
     let d = spread(seq(AddressMapping::RowBankColumn));
     let f = spread(seq(AddressMapping::RowColumnBank));
-    assert!(
-        f >= d,
-        "fine-grained interleave must fan out at least as widely: {f} vs {d} banks"
-    );
+    assert!(f >= d, "fine-grained interleave must fan out at least as widely: {f} vs {d} banks");
     assert!(f >= 8, "fine-grained mapping should touch many banks early: {f}");
 }

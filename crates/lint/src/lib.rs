@@ -1,0 +1,213 @@
+#![forbid(unsafe_code)]
+//! `coaxial-lint` — project-specific static analysis for the COAXIAL
+//! simulator workspace.
+//!
+//! The simulator's core guarantees are behavioral contracts that `rustc`
+//! and clippy cannot see:
+//!
+//! * **determinism** — sweep outputs are bit-identical at any parallel
+//!   runner width, so nothing on a model/report/export path may depend on
+//!   hash-iteration order or ambient entropy;
+//! * **timing arithmetic** — cycle counts are exact `u64`s; silently
+//!   truncating casts and floating-point accumulation corrupt the latency
+//!   ledger in ways no test that happens to use small numbers will catch;
+//! * **zero-cost telemetry** — every telemetry stamping site must sit
+//!   behind `if T::ENABLED` so the `NullTelemetry` monomorphization
+//!   compiles back to the pre-telemetry hot path;
+//! * **DDR5 fidelity** — a timing parameter declared in the config struct
+//!   but never read by the constraint checker is a silent fidelity bug.
+//!
+//! This crate encodes those contracts as a catalog of lints (see
+//! [`CATALOG`]) and runs them over the workspace source. The build
+//! environment is offline (no `syn`), so the rules run over a small
+//! hand-rolled token stream ([`lexer`]) that is exact about comments,
+//! strings, and lifetimes — the things that make text-level linting
+//! unsound — and deliberately approximate about everything else. False
+//! positives are expected occasionally and are handled by a checked-in
+//! suppression file, `lint-allow.toml`, in which every entry must carry a
+//! reason ([`allow`]).
+//!
+//! Run as `cargo run -p coaxial-lint --release` (wired into
+//! `scripts/check.sh`); exits non-zero on any unsuppressed finding or any
+//! stale suppression.
+
+pub mod allow;
+pub mod lexer;
+pub mod rules;
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// A lint violation (or suppression-hygiene problem) at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Lint ID, e.g. `"D01"`.
+    pub id: &'static str,
+    /// Repo-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// The identifier or construct the finding anchors on (matched against
+    /// the optional `ident` key of suppressions).
+    pub ident: String,
+    /// Human explanation of what is wrong and what to do instead.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {} ({})", self.path, self.line, self.id, self.message, self.ident)
+    }
+}
+
+/// One catalog entry: lint ID, one-line contract, rationale.
+pub struct LintInfo {
+    pub id: &'static str,
+    pub summary: &'static str,
+    pub rationale: &'static str,
+}
+
+/// The lint catalog. IDs are grouped by contract: D=determinism,
+/// T=timing arithmetic, Z=zero-cost telemetry, U=unsafe hygiene,
+/// C=config/constraint cross-reference.
+pub const CATALOG: &[LintInfo] = &[
+    LintInfo {
+        id: "D01",
+        summary: "no HashMap/HashSet iteration on model/report/export paths",
+        rationale: "std hash iteration order is randomized per process; iterating one on any \
+                    path that feeds simulated state or serialized output breaks bit-identical \
+                    sweeps. Use BTreeMap/BTreeSet, or collect and sort explicitly. Keyed \
+                    lookup (insert/get/remove/contains) is fine.",
+    },
+    LintInfo {
+        id: "D02",
+        summary: "no wall-clock or ambient entropy in model crates",
+        rationale: "SystemTime/Instant/rand/RandomState inside \
+                    crates/{cpu,cache,dram,cxl,system,workloads} lets host timing or process \
+                    entropy leak into simulation behavior. All model randomness must come \
+                    from coaxial-sim's seeded SplitMix64.",
+    },
+    LintInfo {
+        id: "T01",
+        summary: "no lossy `as` casts on cycle/latency-carrying integers",
+        rationale: "`u64 as u32` on a cycle count silently wraps after ~1.8 s of simulated \
+                    time at 2.4 GHz. Use try_into() (loud at the boundary) or widen the \
+                    destination.",
+    },
+    LintInfo {
+        id: "T02",
+        summary: "no floating-point accumulation in cycle math outside stats/report layers",
+        rationale: "floats make cycle arithmetic order-dependent (a+b+c != c+a+b) and \
+                    platform-dependent; the latency ledger conservation proof only holds in \
+                    exact integers. Convert to f64 only at the reporting boundary.",
+    },
+    LintInfo {
+        id: "Z01",
+        summary: "telemetry sink calls must be dominated by an `if T::ENABLED` guard",
+        rationale: "an unguarded sink call in TelemetrySink-generic code costs real work in \
+                    the NullTelemetry monomorphization and breaks the zero-cost contract \
+                    held by the telemetry-equivalence test and the sim_throughput bench.",
+    },
+    LintInfo {
+        id: "U01",
+        summary: "every `unsafe` needs a `// SAFETY:` comment immediately above",
+        rationale: "the workspace forbids unsafe except where a SAFETY comment states the \
+                    invariant being relied on; unexplained unsafe is unreviewable.",
+    },
+    LintInfo {
+        id: "C01",
+        summary: "every declared DDR5 timing parameter must be read by the constraint code",
+        rationale: "a field in DramTimings that channel/bank scheduling never reads is a \
+                    declared-but-unenforced timing — the config claims DDR5 fidelity the \
+                    simulator does not deliver.",
+    },
+];
+
+pub fn catalog_entry(id: &str) -> Option<&'static LintInfo> {
+    CATALOG.iter().find(|l| l.id == id)
+}
+
+/// Result of linting a tree: unsuppressed findings plus suppression
+/// hygiene problems (stale entries).
+pub struct Report {
+    pub findings: Vec<Finding>,
+    /// Suppressions that matched nothing (stale — must be removed).
+    pub stale_suppressions: Vec<allow::AllowEntry>,
+    /// Count of findings that were suppressed by lint-allow.toml.
+    pub suppressed: usize,
+    /// Files scanned.
+    pub files: usize,
+}
+
+impl Report {
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty() && self.stale_suppressions.is_empty()
+    }
+}
+
+/// Lint the workspace rooted at `root` using the suppression list in
+/// `<root>/lint-allow.toml` (if present).
+pub fn lint_workspace(root: &Path) -> Result<Report, String> {
+    let allow_path = root.join("lint-allow.toml");
+    let allows = if allow_path.exists() {
+        let text = std::fs::read_to_string(&allow_path)
+            .map_err(|e| format!("{}: {e}", allow_path.display()))?;
+        allow::parse(&text).map_err(|e| format!("lint-allow.toml: {e}"))?
+    } else {
+        Vec::new()
+    };
+
+    let files = collect_rs_files(root)?;
+    let mut raw = Vec::new();
+    for path in &files {
+        let rel = path.strip_prefix(root).unwrap_or(path).to_string_lossy().replace('\\', "/");
+        let src = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        raw.extend(rules::lint_file(&rel, &src));
+    }
+    raw.extend(rules::lint_cross_reference(root)?);
+    raw.sort_by(|a, b| (&a.path, a.line, a.id).cmp(&(&b.path, b.line, b.id)));
+
+    let mut used = vec![false; allows.len()];
+    let mut findings = Vec::new();
+    let mut suppressed = 0usize;
+    for f in raw {
+        match allows.iter().position(|a| a.matches(&f)) {
+            Some(i) => {
+                used[i] = true;
+                suppressed += 1;
+            }
+            None => findings.push(f),
+        }
+    }
+    let stale_suppressions =
+        allows.into_iter().zip(&used).filter(|(_, &u)| !u).map(|(a, _)| a).collect();
+    Ok(Report { findings, stale_suppressions, suppressed, files: files.len() })
+}
+
+/// All `.rs` files under `root` that the lint pass owns: workspace source,
+/// tests, benches, and examples — excluding build output, vendored stand-ins,
+/// version control, and the lint crate's own test fixtures (which contain
+/// deliberate violations).
+fn collect_rs_files(root: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let entries = std::fs::read_dir(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| e.to_string())?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if matches!(name.as_ref(), "target" | "vendor" | ".git" | "fixtures") {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}

@@ -1,0 +1,89 @@
+#![forbid(unsafe_code)]
+//! `coaxial-lint` CLI. Usage:
+//!
+//! ```text
+//! coaxial-lint [--root <dir>] [--list] [--explain <ID>]
+//! ```
+//!
+//! With no flags: lint the workspace, print findings as
+//! `path:line: [ID] message`, and exit 1 on any unsuppressed finding or
+//! stale suppression (so `scripts/check.sh` and CI can gate on it).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage("--root needs a directory"),
+            },
+            "--list" => {
+                for l in coaxial_lint::CATALOG {
+                    println!("{}  {}", l.id, l.summary);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--explain" => {
+                let Some(id) = args.next() else { return usage("--explain needs a lint ID") };
+                return match coaxial_lint::catalog_entry(&id) {
+                    Some(l) => {
+                        println!("{}: {}\n\n{}", l.id, l.summary, l.rationale);
+                        ExitCode::SUCCESS
+                    }
+                    None => usage(&format!("unknown lint ID `{id}`")),
+                };
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    // Default root: the workspace containing this crate (CARGO_MANIFEST_DIR
+    // is crates/lint), falling back to the current directory for a copied
+    // binary.
+    let root = root.unwrap_or_else(|| {
+        option_env!("CARGO_MANIFEST_DIR")
+            .map(|m| PathBuf::from(m).join("../.."))
+            .filter(|p| p.join("Cargo.toml").exists())
+            .unwrap_or_else(|| PathBuf::from("."))
+    });
+
+    let report = match coaxial_lint::lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("coaxial-lint: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    for f in &report.findings {
+        println!("{f}");
+    }
+    for s in &report.stale_suppressions {
+        println!(
+            "lint-allow.toml:{}: stale suppression ({} @ {}) matches no finding — remove it",
+            s.line, s.lint, s.path
+        );
+    }
+    let status = if report.clean() { "clean" } else { "FAILED" };
+    eprintln!(
+        "coaxial-lint: {} files, {} findings, {} suppressed, {} stale suppressions — {status}",
+        report.files,
+        report.findings.len(),
+        report.suppressed,
+        report.stale_suppressions.len(),
+    );
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("coaxial-lint: {err}\nusage: coaxial-lint [--root <dir>] [--list] [--explain <ID>]");
+    ExitCode::FAILURE
+}

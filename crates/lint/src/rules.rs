@@ -1,0 +1,613 @@
+//! The lint rules. See [`crate::CATALOG`] for the contract each encodes.
+//!
+//! Each rule is a pure function over a lexed file (plus, for C01, a small
+//! cross-file pass), so the fixture tests in `tests/fixtures.rs` can drive
+//! them directly on seeded good/bad sources without touching the
+//! workspace-walk driver.
+
+use crate::lexer::{lex, Tok, TokKind};
+use crate::Finding;
+use std::path::Path;
+
+/// Crates whose `src/` trees hold simulated state and timing arithmetic.
+const MODEL_CRATES: &[&str] = &["cpu", "cache", "dram", "cxl", "system", "workloads"];
+
+/// Iteration methods on hash collections whose visit order is randomized.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "retain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+];
+
+/// Idents that smuggle ambient nondeterminism into a model crate.
+const ENTROPY_IDENTS: &[&str] = &[
+    "SystemTime",
+    "Instant",
+    "RandomState",
+    "DefaultHasher",
+    "thread_rng",
+    "from_entropy",
+    "getrandom",
+];
+
+/// Cast targets that can silently truncate a `u64`/`usize` cycle value.
+const NARROW_INTS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
+
+/// Snake-case segments that mark an identifier as cycle/latency-carrying.
+const TIMING_SEGMENTS: &[&str] = &[
+    "cycle",
+    "cycles",
+    "cyc",
+    "latency",
+    "latencies",
+    "lat",
+    "tick",
+    "ticks",
+    "deadline",
+    "timestamp",
+    "time",
+    "at",
+    "now",
+    "due",
+    "until",
+    "when",
+    "cl",
+    "cwl",
+];
+
+/// A lexed file plus its path, shared by all per-file rules.
+pub struct FileCtx<'a> {
+    pub rel: &'a str,
+    pub src: &'a str,
+    pub toks: Vec<Tok>,
+}
+
+impl<'a> FileCtx<'a> {
+    pub fn new(rel: &'a str, src: &'a str) -> Self {
+        Self { rel, src, toks: lex(src) }
+    }
+
+    fn finding(&self, id: &'static str, line: u32, ident: &str, message: String) -> Finding {
+        Finding { id, path: self.rel.to_string(), line, ident: ident.to_string(), message }
+    }
+}
+
+fn in_model_src(rel: &str) -> bool {
+    MODEL_CRATES.iter().any(|c| rel.starts_with(&format!("crates/{c}/src/")))
+}
+
+/// D01 scope: anything that feeds simulated state or serialized output —
+/// model crates, the sim substrate, telemetry export, and the CLI.
+fn in_determinism_scope(rel: &str) -> bool {
+    in_model_src(rel)
+        || rel.starts_with("crates/sim/src/")
+        || rel.starts_with("crates/telemetry/src/")
+        || rel.starts_with("src/")
+}
+
+fn in_timing_scope(rel: &str) -> bool {
+    in_model_src(rel) || rel.starts_with("crates/sim/src/")
+}
+
+/// The stats/report layer is allowed to use floats: means, ratios, and
+/// bandwidth figures are reporting artifacts, not simulated time.
+fn in_stats_layer(rel: &str) -> bool {
+    rel.ends_with("stats.rs") || rel.ends_with("power.rs") || rel.contains("report")
+}
+
+/// `true` for identifiers that plausibly carry cycle/latency values.
+fn is_timing_ident(ident: &str) -> bool {
+    if ident.starts_with("t_") && ident.len() > 2 {
+        return true;
+    }
+    ident.split('_').any(|seg| TIMING_SEGMENTS.contains(&seg.to_ascii_lowercase().as_str()))
+}
+
+/// Run every per-file rule that applies to `rel`.
+pub fn lint_file(rel: &str, src: &str) -> Vec<Finding> {
+    let ctx = FileCtx::new(rel, src);
+    let mut out = Vec::new();
+    if in_determinism_scope(rel) {
+        out.extend(check_d01(&ctx));
+    }
+    if in_model_src(rel) {
+        out.extend(check_d02(&ctx));
+    }
+    if in_timing_scope(rel) {
+        out.extend(check_t01(&ctx));
+        if !in_stats_layer(rel) {
+            out.extend(check_t02(&ctx));
+        }
+    }
+    if in_model_src(rel) && src.contains("TelemetrySink") {
+        out.extend(check_z01(&ctx));
+    }
+    out.extend(check_u01(&ctx));
+    out
+}
+
+/// Code-token view: indices into `toks` with comments skipped.
+fn code(toks: &[Tok]) -> Vec<&Tok> {
+    toks.iter().filter(|t| t.kind != TokKind::Comment).collect()
+}
+
+// ---------------------------------------------------------------------------
+// D01 — HashMap/HashSet iteration
+// ---------------------------------------------------------------------------
+
+/// Names bound to `HashMap`/`HashSet` in this file: struct fields and
+/// `let` bindings, via either a type annotation or a `Hash*::new()`-style
+/// initializer.
+fn hash_bound_names(code: &[&Tok]) -> Vec<String> {
+    let mut names = Vec::new();
+    for i in 0..code.len() {
+        if !(code[i].is_ident("HashMap") || code[i].is_ident("HashSet")) {
+            continue;
+        }
+        // `name: [std::collections::] HashMap<...>` — walk back over the
+        // path to the annotated name.
+        let mut j = i;
+        while j > 0
+            && (code[j - 1].is_punct(':')
+                || code[j - 1].is_ident("std")
+                || code[j - 1].is_ident("collections"))
+        {
+            j -= 1;
+        }
+        if j < i && j > 0 && code[j - 1].kind == TokKind::Ident {
+            names.push(code[j - 1].text.clone());
+            continue;
+        }
+        // `let [mut] name = [...] HashMap::new()` — walk back to the `let`.
+        let mut k = i;
+        let floor = i.saturating_sub(24);
+        while k > floor
+            && !code[k - 1].is_ident("let")
+            && !code[k - 1].is_punct(';')
+            && !code[k - 1].is_punct('{')
+            && !code[k - 1].is_punct('}')
+        {
+            k -= 1;
+        }
+        if k > 0 && code[k - 1].is_ident("let") {
+            let name = if code[k].is_ident("mut") { code.get(k + 1) } else { Some(&code[k]) };
+            if let Some(t) = name {
+                if t.kind == TokKind::Ident {
+                    names.push(t.text.clone());
+                }
+            }
+        }
+    }
+    names.sort();
+    names.dedup();
+    names
+}
+
+pub fn check_d01(ctx: &FileCtx) -> Vec<Finding> {
+    let code = code(&ctx.toks);
+    let names = hash_bound_names(&code);
+    if names.is_empty() {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for i in 0..code.len() {
+        let t = code[i];
+        if t.kind != TokKind::Ident || !names.contains(&t.text) {
+            continue;
+        }
+        // `name.iter()` / `name.keys()` / ...
+        if i + 2 < code.len()
+            && code[i + 1].is_punct('.')
+            && ITER_METHODS.iter().any(|m| code[i + 2].is_ident(m))
+            && code.get(i + 3).is_some_and(|t| t.is_punct('('))
+        {
+            out.push(ctx.finding(
+                "D01",
+                t.line,
+                &t.text,
+                format!(
+                    "`{}.{}()` iterates a hash collection; visit order is randomized per \
+                     process — use BTreeMap/BTreeSet or collect-and-sort",
+                    t.text,
+                    code[i + 2].text
+                ),
+            ));
+        }
+        // `for x in [&[mut]] name {`
+        let mut j = i;
+        while j > 0 && (code[j - 1].is_punct('&') || code[j - 1].is_ident("mut")) {
+            j -= 1;
+        }
+        if j > 0 && code[j - 1].is_ident("in") && code.get(i + 1).is_some_and(|t| t.is_punct('{')) {
+            out.push(ctx.finding(
+                "D01",
+                t.line,
+                &t.text,
+                format!(
+                    "`for … in {}` iterates a hash collection; visit order is randomized per \
+                     process — use BTreeMap/BTreeSet or collect-and-sort",
+                    t.text
+                ),
+            ));
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// D02 — ambient nondeterminism
+// ---------------------------------------------------------------------------
+
+pub fn check_d02(ctx: &FileCtx) -> Vec<Finding> {
+    let code = code(&ctx.toks);
+    let mut out = Vec::new();
+    for i in 0..code.len() {
+        let t = code[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let hit = ENTROPY_IDENTS.contains(&t.text.as_str())
+            || (t.is_ident("rand") && code.get(i + 1).is_some_and(|n| n.is_punct(':')));
+        if hit {
+            out.push(ctx.finding(
+                "D02",
+                t.line,
+                &t.text,
+                format!(
+                    "`{}` injects wall-clock time or process entropy into a model crate; \
+                     model randomness must come from the seeded coaxial-sim RNG",
+                    t.text
+                ),
+            ));
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// T01 / T02 — timing arithmetic
+// ---------------------------------------------------------------------------
+
+/// Idents reachable walking left from position `i` (exclusive) through a
+/// postfix chain: `self.cfg.timings.t_faw`, `queue.head().deadline()`, …
+fn chain_idents<'t>(code: &[&'t Tok], i: usize) -> Vec<&'t str> {
+    let mut idents = Vec::new();
+    let mut j = i;
+    let mut parens = 0usize;
+    let floor = i.saturating_sub(16);
+    while j > floor {
+        let t = code[j - 1];
+        match () {
+            _ if t.is_punct(')') => parens += 1,
+            _ if t.is_punct('(') => {
+                if parens == 0 {
+                    break;
+                }
+                parens -= 1;
+            }
+            _ if parens > 0 => {} // skip call arguments
+            _ if t.kind == TokKind::Ident => idents.push(t.text.as_str()),
+            _ if t.is_punct('.') || t.is_punct(':') => {}
+            _ => break,
+        }
+        j -= 1;
+    }
+    idents
+}
+
+pub fn check_t01(ctx: &FileCtx) -> Vec<Finding> {
+    cast_rule(ctx, "T01", NARROW_INTS, |src, dst| {
+        format!(
+            "`{src} as {dst}` can silently truncate a cycle/latency value (u64 wraps after \
+             ~1.8 s of simulated time); use try_into() or widen the destination"
+        )
+    })
+}
+
+/// Segments marking an identifier as a *raw* cycle/tick quantity (for
+/// T02's float-storage check — narrower than [`is_timing_ident`]).
+const CYCLE_SEGMENTS: &[&str] =
+    &["cycle", "cycles", "cyc", "tick", "ticks", "latency", "lat", "deadline"];
+
+/// Segments that mark a float as a legitimate *derived* report quantity
+/// (a mean, a rate, or a wall-time unit) rather than simulated time.
+const REPORT_MARKERS: &[&str] =
+    &["mean", "avg", "ns", "us", "ms", "ratio", "rate", "per", "frac", "pct", "mhz", "ghz"];
+
+fn is_cycle_storage_ident(ident: &str) -> bool {
+    let segs: Vec<String> = ident.split('_').map(|s| s.to_ascii_lowercase()).collect();
+    segs.iter().any(|s| CYCLE_SEGMENTS.contains(&s.as_str()))
+        && !segs.iter().any(|s| REPORT_MARKERS.contains(&s.as_str()))
+}
+
+pub fn check_t02(ctx: &FileCtx) -> Vec<Finding> {
+    let code = code(&ctx.toks);
+    let mut out = Vec::new();
+    // Accumulating casts: `acc += cycles as f64`. A one-shot conversion at
+    // a reporting boundary (`sum as f64 / n as f64`) is legitimate; what
+    // T02 forbids is *accumulation* of simulated time in floating point,
+    // where the running sum loses exactness and order-independence.
+    let mut stmt_start = 0usize;
+    for i in 0..code.len() {
+        let t = code[i];
+        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+            stmt_start = i + 1;
+            continue;
+        }
+        if !t.is_ident("as")
+            || !code.get(i + 1).is_some_and(|n| n.is_ident("f64") || n.is_ident("f32"))
+        {
+            continue;
+        }
+        let accumulating = code[stmt_start..i]
+            .windows(2)
+            .any(|w| (w[0].is_punct('+') || w[0].is_punct('-')) && w[1].is_punct('='));
+        if !accumulating {
+            continue;
+        }
+        if let Some(src) = chain_idents(&code, i).iter().find(|id| is_timing_ident(id)) {
+            out.push(ctx.finding(
+                "T02",
+                t.line,
+                src,
+                format!(
+                    "`{src} as {}` accumulates cycle math in floating point outside the \
+                     stats/report layer; the latency-ledger conservation proof only holds \
+                     in exact integers — accumulate in u64, convert at the report boundary",
+                    code[i + 1].text
+                ),
+            ));
+        }
+    }
+    // `latency_cycles: f64` — float *storage* of a raw cycle quantity.
+    // Derived report quantities (`mean_queue_cycles`, `latency_ns`,
+    // `bytes_per_cycle`) are exempt via REPORT_MARKERS.
+    for i in 0..code.len().saturating_sub(2) {
+        if code[i].kind == TokKind::Ident
+            && is_cycle_storage_ident(&code[i].text)
+            && code[i + 1].is_punct(':')
+            && !code[i + 2].is_punct(':')
+            && (code[i + 2].is_ident("f64") || code[i + 2].is_ident("f32"))
+        {
+            out.push(ctx.finding(
+                "T02",
+                code[i].line,
+                &code[i].text,
+                format!(
+                    "`{}: {}` stores a raw cycle/latency quantity in floating point outside \
+                     the stats/report layer; keep simulated time in integer cycles (derived \
+                     report values should say so in their name: _mean/_ns/_per/…)",
+                    code[i].text,
+                    code[i + 2].text
+                ),
+            ));
+        }
+    }
+    out
+}
+
+fn cast_rule(
+    ctx: &FileCtx,
+    id: &'static str,
+    targets: &[&str],
+    msg: impl Fn(&str, &str) -> String,
+) -> Vec<Finding> {
+    let code = code(&ctx.toks);
+    let mut out = Vec::new();
+    for i in 0..code.len() {
+        if !code[i].is_ident("as") || i + 1 >= code.len() {
+            continue;
+        }
+        let dst = &code[i + 1];
+        if !targets.iter().any(|t| dst.is_ident(t)) {
+            continue;
+        }
+        let chain = chain_idents(&code, i);
+        if let Some(src) = chain.iter().find(|id| is_timing_ident(id)) {
+            out.push(ctx.finding(id, code[i].line, src, msg(src, &dst.text)));
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Z01 — telemetry guard domination
+// ---------------------------------------------------------------------------
+
+/// Sink hook names (kept in sync with `coaxial_telemetry::TelemetrySink`).
+const SINK_METHODS: &[&str] = &["on_miss", "on_span", "on_reset"];
+
+pub fn check_z01(ctx: &FileCtx) -> Vec<Finding> {
+    let code = code(&ctx.toks);
+    let mut out = Vec::new();
+    // guard[d] = "some enclosing block at depth <= d is `if …::ENABLED`".
+    let mut guard = vec![false];
+    // Start-of-header marker: tokens since the last `{`, `}`, or `;`.
+    let mut header_start = 0usize;
+    for i in 0..code.len() {
+        let t = code[i];
+        if t.is_punct('{') {
+            let header = &code[header_start..i];
+            let is_guard = header.iter().any(|t| t.is_ident("if"))
+                && header.iter().any(|t| t.is_ident("ENABLED"));
+            let inherited = *guard.last().unwrap();
+            guard.push(inherited || is_guard);
+            header_start = i + 1;
+        } else if t.is_punct('}') {
+            if guard.len() > 1 {
+                guard.pop();
+            }
+            header_start = i + 1;
+        } else if t.is_punct(';') {
+            header_start = i + 1;
+        }
+        if t.kind == TokKind::Ident
+            && SINK_METHODS.contains(&t.text.as_str())
+            && i > 0
+            && code[i - 1].is_punct('.')
+            && code.get(i + 1).is_some_and(|n| n.is_punct('('))
+            && !*guard.last().unwrap()
+        {
+            out.push(ctx.finding(
+                "Z01",
+                t.line,
+                &t.text,
+                format!(
+                    "telemetry sink call `.{}(…)` is not dominated by an `if T::ENABLED` \
+                     guard; the NullTelemetry monomorphization would pay for it",
+                    t.text
+                ),
+            ));
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// U01 — SAFETY comments on unsafe
+// ---------------------------------------------------------------------------
+
+pub fn check_u01(ctx: &FileCtx) -> Vec<Finding> {
+    let lines: Vec<&str> = ctx.src.lines().collect();
+    let mut out = Vec::new();
+    for t in &ctx.toks {
+        if t.kind != TokKind::Ident || t.text != "unsafe" {
+            continue;
+        }
+        let line_idx = (t.line as usize).saturating_sub(1);
+        // Trailing comment on the same line counts.
+        let mut ok = lines.get(line_idx).is_some_and(|l| l.contains("SAFETY:"));
+        // Otherwise scan the contiguous comment/attribute block above.
+        let mut i = line_idx;
+        while !ok && i > 0 {
+            i -= 1;
+            let l = lines[i].trim();
+            if l.starts_with("//") || l.starts_with("*") || l.ends_with("*/") {
+                ok = l.contains("SAFETY:");
+                if ok {
+                    break;
+                }
+            } else if l.starts_with("#[") || l.is_empty() {
+                continue;
+            } else {
+                break;
+            }
+        }
+        if !ok {
+            out.push(
+                ctx.finding(
+                    "U01",
+                    t.line,
+                    "unsafe",
+                    "`unsafe` without a `// SAFETY:` comment stating the invariant relied on"
+                        .to_string(),
+                ),
+            );
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// C01 — declared-but-unenforced DDR5 timing parameters
+// ---------------------------------------------------------------------------
+
+/// Field names (with lines) of `struct <name> { … }` in `src`.
+pub fn struct_fields(src: &str, name: &str) -> Vec<(String, u32)> {
+    let toks = lex(src);
+    let code = code(&toks);
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < code.len() {
+        if code[i].is_ident("struct") && code.get(i + 1).is_some_and(|t| t.is_ident(name)) {
+            // Seek the opening brace, then collect `ident :` pairs at depth 1.
+            let mut j = i + 2;
+            while j < code.len() && !code[j].is_punct('{') {
+                j += 1;
+            }
+            let mut depth = 0i32;
+            while j < code.len() {
+                let t = code[j];
+                if t.is_punct('{') || t.is_punct('<') {
+                    depth += 1;
+                } else if t.is_punct('}') || t.is_punct('>') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if depth == 1
+                    && t.kind == TokKind::Ident
+                    && code.get(j + 1).is_some_and(|n| n.is_punct(':'))
+                    && code.get(j + 2).is_none_or(|n| !n.is_punct(':'))
+                    && !code[j - 1].is_punct(':')
+                {
+                    fields.push((t.text.clone(), t.line));
+                }
+                j += 1;
+            }
+            break;
+        }
+        i += 1;
+    }
+    fields
+}
+
+/// C01 core: every field of `struct_name` (declared in `config_src`) must
+/// appear as an identifier in at least one of `enforce_srcs`.
+pub fn check_c01(
+    config_rel: &str,
+    config_src: &str,
+    struct_name: &str,
+    enforce_srcs: &[(&str, &str)],
+) -> Vec<Finding> {
+    let fields = struct_fields(config_src, struct_name);
+    let mut used: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+    for (_, src) in enforce_srcs {
+        for t in lex(src) {
+            if t.kind == TokKind::Ident {
+                used.insert(t.text);
+            }
+        }
+    }
+    let files: Vec<&str> = enforce_srcs.iter().map(|(n, _)| *n).collect();
+    fields
+        .into_iter()
+        .filter(|(f, _)| !used.contains(f))
+        .map(|(f, line)| Finding {
+            id: "C01",
+            path: config_rel.to_string(),
+            line,
+            ident: f.clone(),
+            message: format!(
+                "timing parameter `{struct_name}.{f}` is declared but never read by the \
+                 constraint-check code ({}) — a declared-but-unenforced timing is a silent \
+                 fidelity bug",
+                files.join(", ")
+            ),
+        })
+        .collect()
+}
+
+/// Workspace C01 invocation: `DramTimings` vs. the DRAM scheduling files.
+pub fn lint_cross_reference(root: &Path) -> Result<Vec<Finding>, String> {
+    let read =
+        |rel: &str| std::fs::read_to_string(root.join(rel)).map_err(|e| format!("{rel}: {e}"));
+    let config_rel = "crates/dram/src/config.rs";
+    let config = read(config_rel)?;
+    let bank = read("crates/dram/src/bank.rs")?;
+    let sub = read("crates/dram/src/subchannel.rs")?;
+    let chan = read("crates/dram/src/channel.rs")?;
+    Ok(check_c01(
+        config_rel,
+        &config,
+        "DramTimings",
+        &[("bank.rs", &bank), ("subchannel.rs", &sub), ("channel.rs", &chan)],
+    ))
+}

@@ -1,0 +1,7 @@
+//! C01 fixture config: `t_orphan` is declared but never read by the
+//! constraint files, `cl` and `t_rcd` are.
+pub struct FixtureTimings {
+    pub cl: u64,
+    pub t_rcd: u64,
+    pub t_orphan: u64,
+}

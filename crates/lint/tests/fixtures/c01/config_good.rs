@@ -1,0 +1,5 @@
+//! C01 fixture config: every parameter is read by the constraint files.
+pub struct FixtureTimings {
+    pub cl: u64,
+    pub t_rcd: u64,
+}

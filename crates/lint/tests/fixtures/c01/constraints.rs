@@ -1,0 +1,4 @@
+//! C01 fixture constraint code: reads `cl` and `t_rcd` only.
+fn ready_at(t: &FixtureTimings, act_at: u64) -> u64 {
+    act_at + t.t_rcd + t.cl
+}

@@ -1,0 +1,18 @@
+//! D01 bad: iterates a HashMap on a model path.
+use std::collections::{HashMap, HashSet};
+
+struct Tracker {
+    counts: HashMap<u64, u64>,
+}
+
+fn export(t: &Tracker) -> Vec<(u64, u64)> {
+    let mut rows = Vec::new();
+    for (k, v) in t.counts.iter() {
+        rows.push((*k, *v));
+    }
+    let lines: HashSet<u64> = HashSet::new();
+    for line in &lines {
+        rows.push((*line, 0));
+    }
+    rows
+}

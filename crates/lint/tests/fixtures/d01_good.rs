@@ -1,0 +1,15 @@
+//! D01 good: keyed lookup on a HashMap is fine; iteration uses BTreeMap.
+use std::collections::{BTreeMap, HashMap};
+
+struct Tracker {
+    counts: HashMap<u64, u64>,
+    ordered: BTreeMap<u64, u64>,
+}
+
+fn export(t: &Tracker) -> Vec<(u64, u64)> {
+    let mut rows: Vec<(u64, u64)> = t.ordered.iter().map(|(k, v)| (*k, *v)).collect();
+    if let Some(v) = t.counts.get(&7) {
+        rows.push((7, *v));
+    }
+    rows
+}

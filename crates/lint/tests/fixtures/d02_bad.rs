@@ -1,0 +1,8 @@
+//! D02 bad: wall clock and ambient entropy in a model crate.
+use std::time::{Instant, SystemTime};
+
+fn stamp() -> u128 {
+    let t0 = Instant::now();
+    let _ = t0.elapsed();
+    SystemTime::now().duration_since(std::time::UNIX_EPOCH).unwrap().as_nanos()
+}

@@ -1,0 +1,12 @@
+//! D02 good: all randomness comes from the seeded simulator RNG.
+fn stamp(rng: &mut SplitMix64, now: u64) -> u64 {
+    now ^ rng.next()
+}
+
+struct SplitMix64(u64);
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        self.0
+    }
+}

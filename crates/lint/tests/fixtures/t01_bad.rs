@@ -1,0 +1,4 @@
+//! T01 bad: lossy narrowing casts on cycle/latency-carrying values.
+fn pack(total_cycles: u64, latency: u64) -> (u32, u32) {
+    (total_cycles as u32, latency as u32)
+}

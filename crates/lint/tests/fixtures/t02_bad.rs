@@ -1,0 +1,8 @@
+//! T02 bad: float accumulation and float storage of raw cycle values.
+struct Stats {
+    total_latency_cycles: f64,
+}
+
+fn record(s: &mut Stats, latency: u64) {
+    s.total_latency_cycles += latency as f64;
+}

@@ -1,0 +1,15 @@
+//! T02 good: integer accumulation; floats only as derived report values.
+struct Stats {
+    total_latency_cycles: u64,
+    samples: u64,
+    mean_latency_ns: f64,
+}
+
+fn record(s: &mut Stats, latency: u64) {
+    s.total_latency_cycles += latency;
+    s.samples += 1;
+}
+
+fn report(s: &Stats, ns_per_cycle: f64) -> f64 {
+    s.total_latency_cycles as f64 / s.samples as f64 * ns_per_cycle
+}

@@ -1,0 +1,4 @@
+//! U01 bad: unsafe without a SAFETY comment.
+fn read_first(v: &[u8]) -> u8 {
+    unsafe { *v.as_ptr() }
+}

@@ -1,0 +1,15 @@
+//! U01 good: SAFETY comments immediately above each unsafe.
+fn read_first(v: &[u8]) -> u8 {
+    assert!(!v.is_empty());
+    // SAFETY: the assert above guarantees the slice is non-empty, so the
+    // pointer read of element 0 is in bounds.
+    unsafe { *v.as_ptr() }
+}
+
+fn hinted(p: *const i8) {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: prefetch is a hint and never dereferences.
+    unsafe {
+        let _ = p;
+    }
+}

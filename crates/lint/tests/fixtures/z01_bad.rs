@@ -1,0 +1,13 @@
+//! Z01 bad: sink call outside any `if T::ENABLED` guard.
+struct Hier<T: TelemetrySink> {
+    tel: T,
+}
+
+impl<T: TelemetrySink> Hier<T> {
+    fn complete(&mut self, rec: &MissRecord) {
+        self.tel.on_miss(rec);
+        if T::ENABLED {
+            self.tel.on_span(span(rec));
+        }
+    }
+}

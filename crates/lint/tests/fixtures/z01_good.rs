@@ -1,0 +1,20 @@
+//! Z01 good: every sink call dominated by an `if T::ENABLED` guard.
+struct Hier<T: TelemetrySink> {
+    tel: T,
+}
+
+impl<T: TelemetrySink> Hier<T> {
+    fn complete(&mut self, rec: &MissRecord) {
+        if T::ENABLED {
+            self.tel.on_miss(rec);
+            let ev = span(rec);
+            self.tel.on_span(ev);
+        }
+    }
+
+    fn reset(&mut self) {
+        if T::ENABLED && self.deep {
+            self.tel.on_reset();
+        }
+    }
+}

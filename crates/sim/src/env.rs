@@ -42,7 +42,7 @@ pub fn warmup(default: u64) -> u64 {
 /// defaults to the host's available parallelism.
 pub fn jobs() -> usize {
     let default = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    env_u64("COAXIAL_JOBS", default as u64).max(1) as usize
+    crate::narrow::idx(env_u64("COAXIAL_JOBS", default as u64).max(1))
 }
 
 /// Whether the simulation driver may fast-forward quiescent cycles

@@ -17,14 +17,19 @@
 //! * [`env`] — the shared `COAXIAL_*` environment knobs (budgets, job count,
 //!   cycle-skip toggle).
 
+// No unsafe anywhere in this crate (lint U01 audit); keep it that way.
+#![forbid(unsafe_code)]
+
 pub mod env;
 pub mod lru;
+pub mod narrow;
 pub mod queue;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
 pub use lru::ByteBoundedLru;
+pub use narrow::{idx, small_u32, small_u32_u64, trunc_u32, trunc_u64, trunc_usize};
 pub use queue::BoundedQueue;
 pub use rng::SplitMix64;
 pub use stats::{Histogram, MeanTracker};

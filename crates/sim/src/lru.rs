@@ -4,15 +4,16 @@
 //! few but individually large (a warmed cache image per configuration), so
 //! the cache evicts by total byte budget rather than entry count, and the
 //! recency bookkeeping is a simple monotonic stamp with an O(n) eviction
-//! scan — n is single digits in practice.
+//! scan — n is single digits in practice. The map is a `BTreeMap` so the
+//! scan's iteration order (and therefore eviction under stamp ties) is
+//! deterministic (lint D01).
 //!
 //! The cache always retains the most recently inserted entry even if it
 //! alone exceeds the budget; this preserves the memoization behaviour of
 //! the one-entry caches it replaces (the current run can always reuse its
 //! own warmup).
 
-use std::collections::HashMap;
-use std::hash::Hash;
+use std::collections::BTreeMap;
 
 #[derive(Debug)]
 struct Entry<V> {
@@ -22,9 +23,14 @@ struct Entry<V> {
 }
 
 /// Keyed LRU bounded by total bytes, with hit/miss/eviction counters.
+///
+/// Backed by a `BTreeMap` (not `HashMap`): the eviction scan iterates the
+/// map, and lint D01 requires iteration on state-feeding paths to have a
+/// deterministic order — with ordered keys, stamp ties always evict the
+/// smallest key instead of whichever the hasher visits first.
 #[derive(Debug)]
-pub struct ByteBoundedLru<K: Eq + Hash + Clone, V> {
-    map: HashMap<K, Entry<V>>,
+pub struct ByteBoundedLru<K: Ord + Clone, V> {
+    map: BTreeMap<K, Entry<V>>,
     max_bytes: u64,
     cur_bytes: u64,
     clock: u64,
@@ -33,10 +39,10 @@ pub struct ByteBoundedLru<K: Eq + Hash + Clone, V> {
     evictions: u64,
 }
 
-impl<K: Eq + Hash + Clone, V> ByteBoundedLru<K, V> {
+impl<K: Ord + Clone, V> ByteBoundedLru<K, V> {
     pub fn new(max_bytes: u64) -> Self {
         Self {
-            map: HashMap::new(),
+            map: BTreeMap::new(),
             max_bytes,
             cur_bytes: 0,
             clock: 0,
@@ -84,24 +90,15 @@ impl<K: Eq + Hash + Clone, V> ByteBoundedLru<K, V> {
     /// inserted is never evicted, so the cache always holds at least one.
     pub fn insert(&mut self, key: K, value: V, bytes: u64) {
         self.clock += 1;
-        if let Some(old) = self.map.insert(
-            key.clone(),
-            Entry {
-                value,
-                bytes,
-                stamp: self.clock,
-            },
-        ) {
+        if let Some(old) = self.map.insert(key, Entry { value, bytes, stamp: self.clock }) {
             self.cur_bytes -= old.bytes;
         }
         self.cur_bytes += bytes;
+        // Stamps are unique (the clock bumps on every touch), so the entry
+        // just inserted holds the maximum stamp and `min_by_key` can never
+        // select it while more than one entry remains.
         while self.cur_bytes > self.max_bytes && self.map.len() > 1 {
-            let victim = self
-                .map
-                .iter()
-                .filter(|(k, _)| **k != key)
-                .min_by_key(|(_, e)| e.stamp)
-                .map(|(k, _)| k.clone());
+            let victim = self.map.iter().min_by_key(|(_, e)| e.stamp).map(|(k, _)| k.clone());
             match victim {
                 Some(v) => {
                     let e = self.map.remove(&v).expect("victim present");

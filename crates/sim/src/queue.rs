@@ -22,12 +22,7 @@ pub struct BoundedQueue<T> {
 impl<T> BoundedQueue<T> {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "queue capacity must be positive");
-        Self {
-            items: VecDeque::with_capacity(capacity),
-            capacity,
-            occupancy_sum: 0,
-            ticks: 0,
-        }
+        Self { items: VecDeque::with_capacity(capacity), capacity, occupancy_sum: 0, ticks: 0 }
     }
 
     pub fn capacity(&self) -> usize {

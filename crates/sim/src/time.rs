@@ -18,7 +18,7 @@ pub const NS_PER_CYCLE: f64 = 1.0 / CPU_FREQ_GHZ;
 /// quoted hardware latency is never under-modelled.
 #[inline]
 pub fn ns_to_cycles(ns: f64) -> Cycle {
-    (ns * CPU_FREQ_GHZ).ceil() as Cycle
+    crate::narrow::trunc_u64((ns * CPU_FREQ_GHZ).ceil())
 }
 
 /// Convert a cycle count back into nanoseconds.

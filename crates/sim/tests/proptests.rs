@@ -18,7 +18,7 @@ proptest! {
             h.record(v);
         }
         values.sort_unstable();
-        let idx = ((p / 100.0 * values.len() as f64).ceil() as usize).clamp(1, values.len()) - 1;
+        let idx = coaxial_sim::trunc_usize((p / 100.0 * values.len() as f64).ceil()).clamp(1, values.len()) - 1;
         let exact = values[idx] as f64;
         let got = h.percentile(p) as f64;
         // Bucket floors under-report by at most one bucket width (~3.2%).
@@ -79,9 +79,9 @@ proptest! {
     #[test]
     fn rng_small_range_is_exhaustive(seed in 0u64..10_000, bound in 2u64..9) {
         let mut rng = SplitMix64::new(seed);
-        let mut seen = vec![false; bound as usize];
+        let mut seen = vec![false; coaxial_sim::idx(bound)];
         for _ in 0..(bound * 200) {
-            seen[rng.next_below(bound) as usize] = true;
+            seen[coaxial_sim::idx(rng.next_below(bound))] = true;
         }
         prop_assert!(seen.iter().all(|&s| s), "all residues reachable");
     }

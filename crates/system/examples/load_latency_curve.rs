@@ -1,8 +1,12 @@
 fn main() {
     let pts = coaxial_system::experiments::fig2a_load_latency(
-        &[0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8], 500_000);
+        &[0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8],
+        500_000,
+    );
     for p in pts {
-        println!("target {:>4.2} achieved {:>4.2} avg {:>7.1} ns p90 {:>7.1} ns",
-            p.target_utilization, p.achieved_utilization, p.avg_ns, p.p90_ns);
+        println!(
+            "target {:>4.2} achieved {:>4.2} avg {:>7.1} ns p90 {:>7.1} ns",
+            p.target_utilization, p.achieved_utilization, p.avg_ns, p.p90_ns
+        );
     }
 }

@@ -127,18 +127,16 @@ pub fn baseline_characterization(budget: Budget) -> Vec<BaselineRow> {
     Workload::all()
         .iter()
         .zip(runner::run_all(&specs))
-        .map(|(w, r)| {
-            BaselineRow {
-                workload: w.name.to_string(),
-                ipc: r.ipc,
-                mpki: r.mpki,
-                breakdown_ns: r.breakdown_ns,
-                utilization: r.utilization,
-                read_gbs: r.read_gbs,
-                write_gbs: r.write_gbs,
-                paper_ipc: w.paper_ipc,
-                paper_mpki: w.paper_mpki,
-            }
+        .map(|(w, r)| BaselineRow {
+            workload: w.name.to_string(),
+            ipc: r.ipc,
+            mpki: r.mpki,
+            breakdown_ns: r.breakdown_ns,
+            utilization: r.utilization,
+            read_gbs: r.read_gbs,
+            write_gbs: r.write_gbs,
+            paper_ipc: w.paper_ipc,
+            paper_mpki: w.paper_mpki,
         })
         .collect()
 }
@@ -237,7 +235,9 @@ pub fn fig6_mixes_full(count: u64, budget: Budget, weighted: bool) -> Vec<MixRow
     let shared = runner::run_all(&specs);
 
     // Isolated runs for the weighted metric: one per distinct
-    // (workload, system) pair across all mixes, also batched.
+    // (workload, system) pair across all mixes, also batched. The map and
+    // the dedup set below are keyed-lookup only — never iterated (lint
+    // D01); report rows come from the ordered `mixes_v` walk.
     let alone: HashMap<(&str, bool), f64> = if weighted {
         let mut seen = HashSet::new();
         let mut distinct: Vec<(&'static Workload, bool)> = Vec::new();
@@ -583,10 +583,7 @@ mod tests {
         // (paper Fig. 2a: queuing shows up in the tail first).
         let tail_growth = pts[1].p90_ns / pts[0].p90_ns;
         let mean_growth = pts[1].avg_ns / pts[0].avg_ns;
-        assert!(
-            tail_growth > mean_growth,
-            "tail {tail_growth:.2}x vs mean {mean_growth:.2}x"
-        );
+        assert!(tail_growth > mean_growth, "tail {tail_growth:.2}x vs mean {mean_growth:.2}x");
         // Unloaded latency is DRAM-like (tens of ns).
         assert!(pts[0].avg_ns > 15.0 && pts[0].avg_ns < 80.0, "{}", pts[0].avg_ns);
     }

@@ -23,6 +23,9 @@
 //! | Table V (power/EDP)           | [`power::table5`] |
 //! | §IV-E (capacity & cost)       | [`cost`] |
 
+// No unsafe anywhere in this crate (lint U01 audit); keep it that way.
+#![forbid(unsafe_code)]
+
 pub mod area;
 pub mod config;
 pub mod cost;

@@ -37,29 +37,91 @@ pub const PCIE_PINS_PER_LANE: u32 = 4;
 pub fn bandwidth_per_pin_table() -> Vec<InterfacePoint> {
     vec![
         // DDR: per-channel combined bandwidth at the top transfer rate.
-        InterfacePoint { name: "DDR1-400", family: "DDR", year: 2000, bandwidth_gbs: 3.2, pins: DDR_PINS },
-        InterfacePoint { name: "DDR2-800", family: "DDR", year: 2003, bandwidth_gbs: 6.4, pins: DDR_PINS },
-        InterfacePoint { name: "DDR3-1600", family: "DDR", year: 2007, bandwidth_gbs: 12.8, pins: DDR_PINS },
-        InterfacePoint { name: "DDR4-3200", family: "DDR", year: 2014, bandwidth_gbs: 25.6, pins: DDR_PINS },
-        InterfacePoint { name: "DDR5-4800", family: "DDR", year: 2020, bandwidth_gbs: 38.4, pins: DDR_PINS },
+        InterfacePoint {
+            name: "DDR1-400",
+            family: "DDR",
+            year: 2000,
+            bandwidth_gbs: 3.2,
+            pins: DDR_PINS,
+        },
+        InterfacePoint {
+            name: "DDR2-800",
+            family: "DDR",
+            year: 2003,
+            bandwidth_gbs: 6.4,
+            pins: DDR_PINS,
+        },
+        InterfacePoint {
+            name: "DDR3-1600",
+            family: "DDR",
+            year: 2007,
+            bandwidth_gbs: 12.8,
+            pins: DDR_PINS,
+        },
+        InterfacePoint {
+            name: "DDR4-3200",
+            family: "DDR",
+            year: 2014,
+            bandwidth_gbs: 25.6,
+            pins: DDR_PINS,
+        },
+        InterfacePoint {
+            name: "DDR5-4800",
+            family: "DDR",
+            year: 2020,
+            bandwidth_gbs: 38.4,
+            pins: DDR_PINS,
+        },
         // PCIe: per-lane, per-direction.
-        InterfacePoint { name: "PCIe-1.0", family: "PCIe", year: 2003, bandwidth_gbs: 0.25, pins: PCIE_PINS_PER_LANE },
-        InterfacePoint { name: "PCIe-2.0", family: "PCIe", year: 2007, bandwidth_gbs: 0.5, pins: PCIE_PINS_PER_LANE },
-        InterfacePoint { name: "PCIe-3.0", family: "PCIe", year: 2010, bandwidth_gbs: 1.0, pins: PCIE_PINS_PER_LANE },
-        InterfacePoint { name: "PCIe-4.0", family: "PCIe", year: 2017, bandwidth_gbs: 2.0, pins: PCIE_PINS_PER_LANE },
-        InterfacePoint { name: "PCIe-5.0", family: "PCIe", year: 2019, bandwidth_gbs: 4.0, pins: PCIE_PINS_PER_LANE },
-        InterfacePoint { name: "PCIe-6.0", family: "PCIe", year: 2022, bandwidth_gbs: 8.0, pins: PCIE_PINS_PER_LANE },
+        InterfacePoint {
+            name: "PCIe-1.0",
+            family: "PCIe",
+            year: 2003,
+            bandwidth_gbs: 0.25,
+            pins: PCIE_PINS_PER_LANE,
+        },
+        InterfacePoint {
+            name: "PCIe-2.0",
+            family: "PCIe",
+            year: 2007,
+            bandwidth_gbs: 0.5,
+            pins: PCIE_PINS_PER_LANE,
+        },
+        InterfacePoint {
+            name: "PCIe-3.0",
+            family: "PCIe",
+            year: 2010,
+            bandwidth_gbs: 1.0,
+            pins: PCIE_PINS_PER_LANE,
+        },
+        InterfacePoint {
+            name: "PCIe-4.0",
+            family: "PCIe",
+            year: 2017,
+            bandwidth_gbs: 2.0,
+            pins: PCIE_PINS_PER_LANE,
+        },
+        InterfacePoint {
+            name: "PCIe-5.0",
+            family: "PCIe",
+            year: 2019,
+            bandwidth_gbs: 4.0,
+            pins: PCIE_PINS_PER_LANE,
+        },
+        InterfacePoint {
+            name: "PCIe-6.0",
+            family: "PCIe",
+            year: 2022,
+            bandwidth_gbs: 8.0,
+            pins: PCIE_PINS_PER_LANE,
+        },
     ]
 }
 
 /// The Fig. 1 series normalized to PCIe 1.0's bandwidth per pin.
 pub fn normalized_to_pcie1() -> Vec<(String, f64)> {
     let table = bandwidth_per_pin_table();
-    let pcie1 = table
-        .iter()
-        .find(|p| p.name == "PCIe-1.0")
-        .expect("PCIe 1.0 present")
-        .bw_per_pin();
+    let pcie1 = table.iter().find(|p| p.name == "PCIe-1.0").expect("PCIe 1.0 present").bw_per_pin();
     table.iter().map(|p| (p.name.to_string(), p.bw_per_pin() / pcie1)).collect()
 }
 
@@ -102,11 +164,8 @@ mod tests {
     #[test]
     fn ddr_never_catches_pcie_from_gen3_on() {
         let t = bandwidth_per_pin_table();
-        let ddr_best = t
-            .iter()
-            .filter(|p| p.family == "DDR")
-            .map(|p| p.bw_per_pin())
-            .fold(0.0, f64::max);
+        let ddr_best =
+            t.iter().filter(|p| p.family == "DDR").map(|p| p.bw_per_pin()).fold(0.0, f64::max);
         let pcie3 = t.iter().find(|p| p.name == "PCIe-3.0").unwrap().bw_per_pin();
         assert!(pcie3 > ddr_best, "PCIe 3.0 already beats every DDR generation per pin");
     }

@@ -153,13 +153,14 @@ static PREFILL_GEN: LazyLock<Mutex<ByteBoundedLru<PrefillGenKey, PrefillGen>>> =
 /// process-wide (the caches are shared across runs and threads), so sweep
 /// reports see the cumulative numbers.
 pub fn prefill_cache_metrics(reg: &mut MetricsRegistry) {
-    let mut export = |name: &str, hits: u64, misses: u64, evictions: u64, entries: u64, bytes: u64| {
-        reg.set_counter(&format!("server.prefill.{name}.hits"), hits);
-        reg.set_counter(&format!("server.prefill.{name}.misses"), misses);
-        reg.set_counter(&format!("server.prefill.{name}.evictions"), evictions);
-        reg.set_gauge(&format!("server.prefill.{name}.entries"), entries as f64);
-        reg.set_gauge(&format!("server.prefill.{name}.bytes"), bytes as f64);
-    };
+    let mut export =
+        |name: &str, hits: u64, misses: u64, evictions: u64, entries: u64, bytes: u64| {
+            reg.set_counter(&format!("server.prefill.{name}.hits"), hits);
+            reg.set_counter(&format!("server.prefill.{name}.misses"), misses);
+            reg.set_counter(&format!("server.prefill.{name}.evictions"), evictions);
+            reg.set_gauge(&format!("server.prefill.{name}.entries"), entries as f64);
+            reg.set_gauge(&format!("server.prefill.{name}.bytes"), bytes as f64);
+        };
     {
         let memo = PREFILL_MEMO.lock().unwrap();
         export(
@@ -237,10 +238,9 @@ impl Simulation {
     fn trace_for(&self, i: usize, seed: u64) -> Box<dyn TraceSource + Send> {
         match &self.trace_file {
             Some(path) => Box::new(
-                FileTrace::open(path)
-                    .unwrap_or_else(|e| panic!("cannot open trace {path:?}: {e}")),
+                FileTrace::open(path).unwrap_or_else(|e| panic!("cannot open trace {path:?}: {e}")),
             ),
-            None => self.workloads[i].trace(i as u32, seed),
+            None => self.workloads[i].trace(coaxial_sim::small_u32(i), seed),
         }
     }
 
@@ -281,11 +281,11 @@ impl Simulation {
     pub fn run(self) -> RunReport {
         match &self.config.memory {
             MemorySystemKind::DirectDdr { channels } => {
-                let backend = MultiChannel::new(self.config.dram.clone(), *channels);
+                let backend = MultiChannel::new(&self.config.dram, *channels);
                 self.run_with(backend)
             }
             MemorySystemKind::Cxl { link, channels } => {
-                let backend = CxlMemory::new(link.clone(), self.config.dram.clone(), *channels);
+                let backend = CxlMemory::new(link, &self.config.dram, *channels);
                 self.run_with(backend)
             }
         }
@@ -300,11 +300,11 @@ impl Simulation {
     pub fn run_with_telemetry<T: TelemetrySink>(self, tel: T) -> (RunReport, T, MetricsRegistry) {
         match &self.config.memory {
             MemorySystemKind::DirectDdr { channels } => {
-                let backend = MultiChannel::new(self.config.dram.clone(), *channels);
+                let backend = MultiChannel::new(&self.config.dram, *channels);
                 self.run_with_sink(backend, tel)
             }
             MemorySystemKind::Cxl { link, channels } => {
-                let backend = CxlMemory::new(link.clone(), self.config.dram.clone(), *channels);
+                let backend = CxlMemory::new(link, &self.config.dram, *channels);
                 self.run_with_sink(backend, tel)
             }
         }
@@ -361,16 +361,12 @@ impl Simulation {
             hierarchy.import_prefill_state(&state);
         } else {
             let llc_lines_total =
-                (cfg.llc_mb_per_core * 1024.0 * 1024.0 / 64.0) as usize * cfg.cores;
+                coaxial_sim::trunc_usize(cfg.llc_mb_per_core * 1024.0 * 1024.0 / 64.0) * cfg.cores;
             let round_ops = (llc_lines_total / cfg.active_cores.max(1)).max(4096);
             // The access streams depend on the workloads and seed but not the
             // geometry, so reuse the previous run's generated prefix (and its
             // paused generators) when the run is a same-workload sibling.
-            let gen_key: PrefillGenKey = (
-                self.workload_names(),
-                cfg.seed,
-                cfg.active_cores,
-            );
+            let gen_key: PrefillGenKey = (self.workload_names(), cfg.seed, cfg.active_cores);
             let parked = if self.trace_file.is_none() {
                 PREFILL_GEN.lock().unwrap().take(&gen_key)
             } else {
@@ -395,10 +391,10 @@ impl Simulation {
                     let stream = gen.stream(i, consumed + round_ops);
                     for j in consumed..consumed + round_ops {
                         if let Some(&(ahead, _)) = stream.get(j + PREFETCH_AHEAD) {
-                            hierarchy.prefill_prefetch(i as u32, ahead);
+                            hierarchy.prefill_prefetch(coaxial_sim::small_u32(i), ahead);
                         }
                         let (line, is_store) = stream[j];
-                        hierarchy.prefill_access(i as u32, line, is_store);
+                        hierarchy.prefill_access(coaxial_sim::small_u32(i), line, is_store);
                     }
                 }
                 consumed += round_ops;
@@ -421,7 +417,13 @@ impl Simulation {
         let dbg_prefill = dbg_t0.elapsed();
 
         let mut cores: Vec<Core> = (0..cfg.active_cores)
-            .map(|i| Core::new(i as u32, CoreParams::default(), self.trace_for(i, cfg.seed)))
+            .map(|i| {
+                Core::new(
+                    coaxial_sim::small_u32(i),
+                    CoreParams::default(),
+                    self.trace_for(i, cfg.seed),
+                )
+            })
             .collect();
 
         let max_cycles = if self.max_cycles > 0 {

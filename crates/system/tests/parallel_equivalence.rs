@@ -19,7 +19,12 @@ fn quick_batch() -> Vec<RunSpec> {
         specs.push(RunSpec::homogeneous(SystemConfig::ddr_baseline(), w, INSTR, WARMUP));
         specs.push(RunSpec::homogeneous(SystemConfig::coaxial_4x(), w, INSTR, WARMUP));
     }
-    specs.push(RunSpec::homogeneous(SystemConfig::coaxial_asym(), Workload::all().first().unwrap(), INSTR, WARMUP));
+    specs.push(RunSpec::homogeneous(
+        SystemConfig::coaxial_asym(),
+        Workload::all().first().unwrap(),
+        INSTR,
+        WARMUP,
+    ));
     specs.push(RunSpec::mix(SystemConfig::coaxial_4x(), &mixes::mix(3, 12), INSTR, WARMUP));
     specs
 }

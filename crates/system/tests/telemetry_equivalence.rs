@@ -93,7 +93,8 @@ fn harvested_metrics_match_report_and_cover_all_layers() {
     assert_eq!(metrics.counter("hier.mem.reads"), Some(report.hier.mem_reads));
     // Backend metrics: per-channel DDR counters behind the CXL links sum
     // to the report's aggregate.
-    let ch_reads: u64 = (0..4).map(|i| metrics.counter(&format!("mem.ch{i}.ddr.reads")).unwrap()).sum();
+    let ch_reads: u64 =
+        (0..4).map(|i| metrics.counter(&format!("mem.ch{i}.ddr.reads")).unwrap()).sum();
     assert_eq!(ch_reads, report.ddr.reads);
     // Prefill caches surface process-wide counters.
     assert!(metrics.counter("server.prefill.state_cache.hits").is_some());

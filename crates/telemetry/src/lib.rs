@@ -29,6 +29,9 @@
 //! can re-export the stats primitives) and therefore defines its own
 //! [`Cycle`] alias; it is the same `u64` cycle count as `coaxial_sim::Cycle`.
 
+// No unsafe anywhere in this crate (lint U01 audit); keep it that way.
+#![forbid(unsafe_code)]
+
 pub mod attribution;
 pub mod registry;
 pub mod sink;

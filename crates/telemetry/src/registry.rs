@@ -51,11 +51,7 @@ impl MetricsRegistry {
     /// Add to a counter, creating it at 0 first if absent. Panics if the
     /// path is already registered as a different kind.
     pub fn add_counter(&mut self, path: &str, delta: u64) {
-        match self
-            .metrics
-            .entry(path.to_string())
-            .or_insert(MetricValue::Counter(0))
-        {
+        match self.metrics.entry(path.to_string()).or_insert(MetricValue::Counter(0)) {
             MetricValue::Counter(v) => *v += delta,
             other => panic!("metric {path} is not a counter: {other:?}"),
         }

@@ -146,15 +146,7 @@ mod tests {
         // And usable as a sink without effect.
         let mut t = NullTelemetry;
         t.on_miss(&miss());
-        t.on_span(TraceEvent {
-            name: "x",
-            cat: "mem",
-            pid: 0,
-            tid: 0,
-            start: 0,
-            dur: 1,
-            line: 0,
-        });
+        t.on_span(TraceEvent { name: "x", cat: "mem", pid: 0, tid: 0, start: 0, dur: 1, line: 0 });
     }
 
     #[test]

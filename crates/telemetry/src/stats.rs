@@ -72,6 +72,25 @@ pub struct Histogram {
 const SUBBUCKETS_LOG2: u32 = 5;
 const SUBBUCKETS: u64 = 1 << SUBBUCKETS_LOG2;
 
+/// Bucket-index narrowing. The telemetry crate sits below `coaxial-sim`
+/// (which re-exports this module), so it cannot use `coaxial_sim::narrow`;
+/// this is the crate's single reviewed `u64 -> usize` cast, bounded by the
+/// bucket-count formula in [`Histogram::bucket_index`].
+#[inline]
+#[allow(clippy::cast_possible_truncation)]
+fn bidx(x: u64) -> usize {
+    debug_assert!(x < 64 * SUBBUCKETS);
+    x as usize
+}
+
+/// Percentile rank truncation: `as`-semantics float-to-integer at the
+/// report boundary (never on the record path).
+#[inline]
+#[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+fn ceil_count(x: f64) -> u64 {
+    x.ceil().max(1.0) as u64
+}
+
 impl Default for Histogram {
     fn default() -> Self {
         Self::new()
@@ -82,7 +101,7 @@ impl Histogram {
     pub fn new() -> Self {
         Self {
             // 64 octaves × 32 sub-buckets covers all of u64.
-            buckets: vec![0; (64 * SUBBUCKETS) as usize],
+            buckets: vec![0; bidx(64 * SUBBUCKETS - 1) + 1],
             count: 0,
             sum: 0.0,
             max: 0,
@@ -92,11 +111,11 @@ impl Histogram {
     #[inline]
     fn bucket_index(value: u64) -> usize {
         if value < SUBBUCKETS {
-            return value as usize;
+            return bidx(value);
         }
         let octave = 63 - value.leading_zeros() as u64; // >= SUBBUCKETS_LOG2
         let sub = (value >> (octave - SUBBUCKETS_LOG2 as u64)) - SUBBUCKETS;
-        ((octave - SUBBUCKETS_LOG2 as u64 + 1) * SUBBUCKETS + sub) as usize
+        bidx((octave - SUBBUCKETS_LOG2 as u64 + 1) * SUBBUCKETS + sub)
     }
 
     /// Lower edge of the bucket with the given index (used to answer
@@ -146,7 +165,7 @@ impl Histogram {
         if self.count == 0 {
             return 0;
         }
-        let target = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let target = ceil_count((p / 100.0) * self.count as f64);
         let mut seen = 0;
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;

@@ -142,15 +142,7 @@ mod tests {
     use super::*;
 
     fn ev(start: Cycle, dur: Cycle) -> TraceEvent {
-        TraceEvent {
-            name: "dram",
-            cat: "mem",
-            pid: 0,
-            tid: 1,
-            start,
-            dur,
-            line: 0xdead,
-        }
+        TraceEvent { name: "dram", cat: "mem", pid: 0, tid: 1, start, dur, line: 0xdead }
     }
 
     #[test]
@@ -333,22 +325,16 @@ mod tests {
         let json = t.export_chrome_json();
         let v = mini_json::parse(&json).expect("export must be valid JSON");
 
-        let mini_json::Value::Obj(top) = v else {
-            panic!("top level must be an object")
-        };
+        let mini_json::Value::Obj(top) = v else { panic!("top level must be an object") };
         let events = top
             .iter()
             .find(|(k, _)| k == "traceEvents")
             .map(|(_, v)| v)
             .expect("traceEvents key required");
-        let mini_json::Value::Arr(events) = events else {
-            panic!("traceEvents must be an array")
-        };
+        let mini_json::Value::Arr(events) = events else { panic!("traceEvents must be an array") };
         assert_eq!(events.len(), 2);
         for e in events {
-            let mini_json::Value::Obj(fields) = e else {
-                panic!("event must be an object")
-            };
+            let mini_json::Value::Obj(fields) = e else { panic!("event must be an object") };
             let get = |k: &str| fields.iter().find(|(f, _)| f == k).map(|(_, v)| v);
             assert_eq!(get("ph"), Some(&mini_json::Value::Str("X".into())));
             assert!(matches!(get("ts"), Some(mini_json::Value::Num(_))));
@@ -358,17 +344,9 @@ mod tests {
             assert!(matches!(get("name"), Some(mini_json::Value::Str(_))));
         }
         // Cycle→µs conversion: 240 cycles @2.4 GHz = 0.1 µs.
-        let mini_json::Value::Obj(fields) = &events[0] else {
-            unreachable!()
-        };
-        let ts = fields
-            .iter()
-            .find(|(k, _)| k == "ts")
-            .map(|(_, v)| v)
-            .unwrap();
-        let mini_json::Value::Num(ts) = ts else {
-            panic!()
-        };
+        let mini_json::Value::Obj(fields) = &events[0] else { unreachable!() };
+        let ts = fields.iter().find(|(k, _)| k == "ts").map(|(_, v)| v).unwrap();
+        let mini_json::Value::Num(ts) = ts else { panic!() };
         assert!((ts - 0.1).abs() < 1e-9, "ts {ts} != 0.1 µs");
     }
 

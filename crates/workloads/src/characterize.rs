@@ -107,11 +107,7 @@ mod tests {
             let p = characterize(w, 0, 7, 50_000);
             let expected = w.density_per_ki();
             let rel = (p.density_per_ki - expected).abs() / expected;
-            assert!(
-                rel < tol,
-                "{name}: measured {} vs declared {expected}",
-                p.density_per_ki
-            );
+            assert!(rel < tol, "{name}: measured {} vs declared {expected}", p.density_per_ki);
         }
     }
 

@@ -112,11 +112,11 @@ impl GraphTrace {
     /// Deterministic per-vertex degree around the average (0.5x–1.5x).
     fn sample_degree(&mut self) -> u32 {
         let d = self.p.avg_degree as u64;
-        (d / 2 + self.rng.next_below(d.max(1)) + 1) as u32
+        coaxial_sim::small_u32_u64(d / 2 + self.rng.next_below(d.max(1)) + 1)
     }
 
     fn gap(&mut self) -> u32 {
-        self.rng.next_exp(self.p.mean_gap).round() as u32
+        coaxial_sim::trunc_u32(self.rng.next_exp(self.p.mean_gap).round())
     }
 
     fn advance_vertex(&mut self) {
@@ -190,11 +190,8 @@ impl TraceSource for GraphTrace {
         }
         let gap = self.gap();
         let (line, is_store, pc, depends) = self.next_body();
-        let op = if is_store {
-            TraceOp::store(gap, line, pc)
-        } else {
-            TraceOp::load(gap, line, pc)
-        };
+        let op =
+            if is_store { TraceOp::store(gap, line, pc) } else { TraceOp::load(gap, line, pc) };
         if depends {
             op.dependent()
         } else {
@@ -235,10 +232,8 @@ mod tests {
         // Some consecutive-line pairs (sequential scans) must exist…
         let seq = ops.windows(2).filter(|w| w[1].line_addr == w[0].line_addr + 1).count();
         // …and plenty of long jumps (gathers).
-        let jumps = ops
-            .windows(2)
-            .filter(|w| w[1].line_addr.abs_diff(w[0].line_addr) > 1000)
-            .count();
+        let jumps =
+            ops.windows(2).filter(|w| w[1].line_addr.abs_diff(w[0].line_addr) > 1000).count();
         assert!(jumps > 2_000, "graph gathers must dominate: {jumps}");
         let _ = seq; // sequential structure is implicit in offsets scans
     }

@@ -24,6 +24,9 @@
 //! random 12-workload mixes; [`traffic::PoissonTraffic`] is the
 //! rate-controlled random load used for the Fig. 2a load-latency curve.
 
+// No unsafe anywhere in this crate (lint U01 audit); keep it that way.
+#![forbid(unsafe_code)]
+
 pub mod characterize;
 pub mod graph;
 pub mod mixes;

@@ -14,7 +14,7 @@ pub const PAPER_MIX_COUNT: usize = 10;
 pub fn mix(mix_id: u64, cores: usize) -> Vec<&'static Workload> {
     let all = Workload::all();
     let mut rng = SplitMix64::new(0x4D31_5800_u64 ^ mix_id.wrapping_mul(0x9E37_79B9));
-    (0..cores).map(|_| &all[rng.next_below(all.len() as u64) as usize]).collect()
+    (0..cores).map(|_| &all[coaxial_sim::idx(rng.next_below(all.len() as u64))]).collect()
 }
 
 #[cfg(test)]

@@ -98,7 +98,7 @@ impl SyntheticTrace {
 
     fn gap(&mut self) -> u32 {
         let mean = self.advance_phase();
-        self.rng.next_exp(mean).round().min(u32::MAX as f64) as u32
+        coaxial_sim::trunc_u32(self.rng.next_exp(mean).round())
     }
 
     fn address(&mut self) -> u64 {

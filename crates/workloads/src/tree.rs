@@ -84,7 +84,7 @@ impl TreeTrace {
 
 impl TraceSource for TreeTrace {
     fn next_op(&mut self) -> TraceOp {
-        let gap = self.rng.next_exp(self.p.mean_gap).round() as u32;
+        let gap = coaxial_sim::trunc_u32(self.rng.next_exp(self.p.mean_gap).round());
         let (line, is_store, level) = self.next_body();
         if is_store {
             // The leaf update is a store dependent on the walk.
@@ -144,8 +144,7 @@ mod tests {
         let mut t = TreeTrace::new(params(), 0, 2);
         let ops: Vec<TraceOp> = (0..6_000).map(|_| t.next_op()).collect();
         let region_mask = (1u64 << crate::CORE_REGION_BITS) - 1;
-        let roots: Vec<u64> =
-            ops.iter().step_by(6).map(|o| o.line_addr & region_mask).collect();
+        let roots: Vec<u64> = ops.iter().step_by(6).map(|o| o.line_addr & region_mask).collect();
         let leaves: Vec<u64> =
             ops.iter().skip(5).step_by(6).map(|o| o.line_addr & region_mask).collect();
         let max_root = roots.iter().max().unwrap();

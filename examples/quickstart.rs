@@ -18,15 +18,16 @@ fn main() {
         std::process::exit(1);
     });
 
-    println!("workload: {}  (paper baseline IPC {:.2}, MPKI {})", workload.name, workload.paper_ipc, workload.paper_mpki);
+    println!(
+        "workload: {}  (paper baseline IPC {:.2}, MPKI {})",
+        workload.name, workload.paper_ipc, workload.paper_mpki
+    );
 
     let budget = 60_000;
-    let base = Simulation::new(SystemConfig::ddr_baseline(), workload)
-        .instructions_per_core(budget)
-        .run();
-    let coax = Simulation::new(SystemConfig::coaxial_4x(), workload)
-        .instructions_per_core(budget)
-        .run();
+    let base =
+        Simulation::new(SystemConfig::ddr_baseline(), workload).instructions_per_core(budget).run();
+    let coax =
+        Simulation::new(SystemConfig::coaxial_4x(), workload).instructions_per_core(budget).run();
 
     for r in [&base, &coax] {
         let (on, q, s, x) = r.breakdown_ns;

@@ -60,7 +60,16 @@ impl Default for Opts {
 }
 
 fn usage() -> ! {
-    eprintln!("{}", include_str!("coaxial.rs").lines().skip(2).take(22).map(|l| l.trim_start_matches("//! ")).collect::<Vec<_>>().join("\n"));
+    eprintln!(
+        "{}",
+        include_str!("coaxial.rs")
+            .lines()
+            .skip(2)
+            .take(22)
+            .map(|l| l.trim_start_matches("//! "))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
     exit(2)
 }
 
@@ -126,9 +135,11 @@ fn print_report(r: &RunReport) {
     let (on, q, s, x) = r.breakdown_ns;
     println!("config:      {}", r.config_name);
     println!("workloads:   {}", r.workload_names.join(", "));
-    println!("IPC:         {:.3} (per core: {})",
+    println!(
+        "IPC:         {:.3} (per core: {})",
         r.ipc,
-        r.per_core_ipc.iter().map(|i| format!("{i:.2}")).collect::<Vec<_>>().join(" "));
+        r.per_core_ipc.iter().map(|i| format!("{i:.2}")).collect::<Vec<_>>().join(" ")
+    );
     println!("MPKI:        {:.1}", r.mpki);
     println!(
         "L2-miss lat: {:.0} ns = on-chip {:.0} + queuing {:.0} + DRAM {:.0} + CXL {:.0}",
@@ -213,7 +224,10 @@ fn main() {
             .collect();
             let reports = run_all(&specs);
             let base = &reports[0];
-            println!("{:<14} {:>7} {:>9} {:>11} {:>10}", "config", "IPC", "speedup", "L2-miss ns", "util");
+            println!(
+                "{:<14} {:>7} {:>9} {:>11} {:>10}",
+                "config", "IPC", "speedup", "L2-miss ns", "util"
+            );
             for r in &reports {
                 println!(
                     "{:<14} {:>7.3} {:>8.2}x {:>11.0} {:>9.0}%",
@@ -231,21 +245,30 @@ fn main() {
             let w = workload(wl);
             let latencies = [10.0, 30.0, 50.0, 70.0, 90.0, 120.0];
             let specs: Vec<RunSpec> = std::iter::once(SystemConfig::ddr_baseline())
-                .chain(latencies.iter().map(|&ns| SystemConfig::coaxial_4x().with_cxl_latency_ns(ns)))
-                .map(|cfg| RunSpec::homogeneous(cfg.with_active_cores(o.cores), w, o.instr, o.warmup))
+                .chain(
+                    latencies.iter().map(|&ns| SystemConfig::coaxial_4x().with_cxl_latency_ns(ns)),
+                )
+                .map(|cfg| {
+                    RunSpec::homogeneous(cfg.with_active_cores(o.cores), w, o.instr, o.warmup)
+                })
                 .collect();
             let reports = run_all(&specs);
             let base = &reports[0];
             println!("baseline IPC {:.3}", base.ipc);
             for (ns, r) in latencies.iter().zip(&reports[1..]) {
-                println!("CXL {ns:>5.0} ns: IPC {:.3}  speedup {:.2}x", r.ipc, r.speedup_over(base));
+                println!(
+                    "CXL {ns:>5.0} ns: IPC {:.3}  speedup {:.2}x",
+                    r.ipc,
+                    r.speedup_over(base)
+                );
             }
         }
         "breakdown" => {
             let Some(wl) = args.get(1) else { usage() };
             let o = parse_opts(&args[2..]);
             let budget = Budget { instructions: o.instr, warmup: o.warmup };
-            let configs = [SystemConfig::ddr_baseline().with_active_cores(o.cores), build_config(&o)];
+            let configs =
+                [SystemConfig::ddr_baseline().with_active_cores(o.cores), build_config(&o)];
             let rows = latency_breakdown(&configs, wl, budget);
             println!("mean L2-miss latency attribution on {wl}, ns (measured window)");
             print!("{:<16}", "component");
@@ -284,8 +307,8 @@ fn main() {
         "trace" => {
             let (Some(wl), Some(out)) = (args.get(1), args.get(2)) else { usage() };
             let o = parse_opts(&args[3..]);
-            let rec = TelemetryRecorder::new()
-                .with_trace_window(o.trace_cap, o.trace_start, o.trace_end);
+            let rec =
+                TelemetryRecorder::new().with_trace_window(o.trace_cap, o.trace_start, o.trace_end);
             let (r, rec, _metrics) = Simulation::new(build_config(&o), workload(wl))
                 .instructions_per_core(o.instr)
                 .warmup(o.warmup)
@@ -311,18 +334,23 @@ fn main() {
             println!("write fraction:  {:.1}%", p.write_frac * 100.0);
             println!("dependent ops:   {:.1}%", p.dependent_frac * 100.0);
             println!("sequential ops:  {:.1}%", p.sequential_frac * 100.0);
-            println!("unique lines:    {} ({:.1} MB)", p.unique_lines, p.unique_lines as f64 * 64.0 / 1e6);
+            println!(
+                "unique lines:    {} ({:.1} MB)",
+                p.unique_lines,
+                p.unique_lines as f64 * 64.0 / 1e6
+            );
             println!("line reuse:      {:.1}%", p.reuse_frac * 100.0);
         }
         "capture" => {
             let (Some(wl), Some(path)) = (args.get(1), args.get(2)) else { usage() };
             let o = parse_opts(&args[3..]);
             let mut src = workload(wl).trace(0, 0xCAB);
-            tracefile::capture(std::path::Path::new(path), src.as_mut(), o.ops)
-                .unwrap_or_else(|e| {
+            tracefile::capture(std::path::Path::new(path), src.as_mut(), o.ops).unwrap_or_else(
+                |e| {
                     eprintln!("capture failed: {e}");
                     exit(1)
-                });
+                },
+            );
             println!("captured {} ops of {wl} to {path}", o.ops);
         }
         "replay" => {

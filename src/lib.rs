@@ -30,6 +30,9 @@
 //! assert!(coax.ipc > 0.0 && base.ipc > 0.0);
 //! ```
 
+// No unsafe anywhere in this crate (lint U01 audit); keep it that way.
+#![forbid(unsafe_code)]
+
 pub use coaxial_cache as cache;
 pub use coaxial_cpu as cpu;
 pub use coaxial_cxl as cxl;

@@ -39,10 +39,7 @@ fn queuing_delay_collapses_on_coaxial() {
     let coax = run(SystemConfig::coaxial_4x(), "stream-triad");
     let (_, q_base, _, _) = base.breakdown_ns;
     let (_, q_coax, _, _) = coax.breakdown_ns;
-    assert!(
-        q_coax < q_base / 3.0,
-        "queuing must collapse: {q_base:.0} ns -> {q_coax:.0} ns"
-    );
+    assert!(q_coax < q_base / 3.0, "queuing must collapse: {q_base:.0} ns -> {q_coax:.0} ns");
 }
 
 #[test]
@@ -52,10 +49,7 @@ fn cxl_interface_delay_matches_the_model() {
     // ~52.5 ns for reads; the average mixes in LLC-hit L2 misses (0 CXL),
     // so it lands at llc_miss_ratio × 52.5.
     let expected = coax.llc_miss_ratio * 52.5;
-    assert!(
-        (cxl - expected).abs() < 8.0,
-        "CXL component {cxl:.1} ns vs expected {expected:.1} ns"
-    );
+    assert!((cxl - expected).abs() < 8.0, "CXL component {cxl:.1} ns vs expected {expected:.1} ns");
 }
 
 #[test]

@@ -56,10 +56,7 @@ fn check_invariants(r: &RunReport, tag: &str) {
     assert!(r.utilization <= 1.0 + 1e-9, "{tag}: utilization {} > 1", r.utilization);
     // DDR-side counts at least cover the hierarchy-issued traffic (the
     // backend may have absorbed a few more in-flight requests).
-    assert!(
-        r.ddr.reads + 64 >= r.hier.mem_reads,
-        "{tag}: backend saw fewer reads than issued"
-    );
+    assert!(r.ddr.reads + 64 >= r.hier.mem_reads, "{tag}: backend saw fewer reads than issued");
 }
 
 #[test]

@@ -12,13 +12,13 @@ use coaxial::workloads::SyntheticParams;
 /// Random-but-valid synthetic workload parameters.
 fn arb_params() -> impl Strategy<Value = SyntheticParams> {
     (
-        1.0f64..200.0,       // mean_gap
-        12u32..24,           // footprint_lines = 1 << exp
-        0.0f64..1.0,         // spatial
-        0.0f64..0.9,         // hot_frac
-        0.0f64..0.6,         // write_frac
-        0.0f64..0.7,         // pointer_chase
-        0.0f64..0.1,         // burstiness
+        1.0f64..200.0, // mean_gap
+        12u32..24,     // footprint_lines = 1 << exp
+        0.0f64..1.0,   // spatial
+        0.0f64..0.9,   // hot_frac
+        0.0f64..0.6,   // write_frac
+        0.0f64..0.7,   // pointer_chase
+        0.0f64..0.1,   // burstiness
     )
         .prop_map(|(gap, fp_exp, spatial, hot, wf, chase, burst)| SyntheticParams {
             mean_gap: gap,
@@ -58,9 +58,7 @@ proptest! {
 /// instead we piggyback on the registry by perturbing seeds.
 fn tiny_run(cfg: SystemConfig, seed: u64) -> coaxial::system::RunReport {
     // Perturb the seed: same workload, different address streams.
-    let w = coaxial::workloads::Workload::all()
-        .get((seed % 36) as usize)
-        .expect("registry index");
+    let w = coaxial::workloads::Workload::all().get((seed % 36) as usize).expect("registry index");
     Simulation::new(cfg.with_seed(seed), w).instructions_per_core(1_200).warmup(200).run()
 }
 

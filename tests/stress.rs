@@ -1,8 +1,8 @@
 //! Stress and failure-injection tests: tiny queues, hostile traffic, and
 //! degenerate configurations must never deadlock or corrupt accounting.
 
-use coaxial::dram::{DramConfig, MemRequest, MemoryBackend, MultiChannel};
 use coaxial::cxl::{CxlLinkConfig, CxlMemory};
+use coaxial::dram::{DramConfig, MemRequest, MemoryBackend, MultiChannel};
 use coaxial::system::{Simulation, SystemConfig};
 use coaxial::workloads::Workload;
 
@@ -20,7 +20,7 @@ fn tiny_dram() -> DramConfig {
 
 #[test]
 fn tiny_queues_do_not_deadlock_direct_ddr() {
-    let mut m = MultiChannel::new(tiny_dram(), 1);
+    let mut m = MultiChannel::new(&tiny_dram(), 1);
     let mut issued = 0u64;
     let mut done = 0u64;
     let total = 500u64;
@@ -49,8 +49,9 @@ fn tiny_queues_do_not_deadlock_direct_ddr() {
 
 #[test]
 fn tiny_queues_do_not_deadlock_cxl() {
-    let link = CxlLinkConfig { req_queue_depth: 2, device_buf_depth: 1, ..CxlLinkConfig::x8_symmetric() };
-    let mut m = CxlMemory::new(link, tiny_dram(), 2);
+    let link =
+        CxlLinkConfig { req_queue_depth: 2, device_buf_depth: 1, ..CxlLinkConfig::x8_symmetric() };
+    let mut m = CxlMemory::new(&link, &tiny_dram(), 2);
     let mut issued = 0u64;
     let mut done = 0u64;
     let total = 400u64;
@@ -94,7 +95,7 @@ fn single_bank_single_subchannel_still_works() {
         banks_per_group: 1,
         ..DramConfig::ddr5_4800()
     };
-    let mut m = MultiChannel::new(cfg, 1);
+    let mut m = MultiChannel::new(&cfg, 1);
     let mut done = 0;
     for i in 0..100u64 {
         m.try_enqueue(MemRequest::read(i, i * 3301, 0)).ok();
@@ -113,7 +114,7 @@ fn pathological_same_row_thrash_completes() {
     // Strictly serialized alternating rows in the same bank: every access
     // forces a PRE/ACT swing (FR-FCFS cannot batch, because only one
     // request is ever outstanding).
-    let mut m = MultiChannel::new(DramConfig::ddr5_4800(), 1);
+    let mut m = MultiChannel::new(&DramConfig::ddr5_4800(), 1);
     let cfg = DramConfig::ddr5_4800();
     let bank_stride = cfg.lines_per_row() * cfg.banks_per_subchannel() as u64 * 2;
     let mut issued = 0u64;
