@@ -325,9 +325,20 @@ impl Core {
     /// completion; `Cycle::MAX` if none). Returns `None` when the core could
     /// retire, dispatch, or issue on the next cycle.
     ///
+    /// The bound is **exact**, not conservative: while blocked, the core's
+    /// state can change only when a due entry pops off `scheduled` (which
+    /// happens first at exactly the returned cycle — the ROB-head wakeup
+    /// time the event engine parks the core on) or when the hierarchy
+    /// delivers a completion via [`Core::on_memory_complete`] (which the
+    /// engine observes directly and uses to wake the core early). Blocked
+    /// means no issues, so `scheduled` cannot gain entries and the bound
+    /// cannot move. The engine debug-asserts this contract: a core woken at
+    /// its own bound must change its [`Core::progress_fingerprint`] on the
+    /// wake-up tick.
+    ///
     /// While blocked, a tick does exactly `cycles += 1; stall_cycles += 1`
     /// and nothing else, which is what [`Core::fast_forward`] replays — the
-    /// pair is what lets the system driver skip quiescent cycles with
+    /// pair is what lets both run-loop engines skip quiescent cycles with
     /// bit-identical statistics.
     pub fn next_event(&self) -> Option<Cycle> {
         match self.rob.front() {
@@ -347,9 +358,29 @@ impl Core {
     }
 
     /// Account `skipped` fully-blocked cycles (see [`Core::next_event`]).
+    /// Exact replay of the skipped ticks: a fully-blocked tick touches
+    /// nothing but these two counters.
     pub fn fast_forward(&mut self, skipped: u64) {
         self.cycles += skipped;
         self.stall_cycles += skipped;
+    }
+
+    /// Cheap state fingerprint for the engines' stale-bound assertion: any
+    /// tick that does more than pure stall accounting (`cycles += 1;
+    /// stall_cycles += 1`) changes at least one of these fields. The event
+    /// engine asserts (in debug builds) that a core woken at its own
+    /// [`Core::next_event`] bound changes its fingerprint on the wake-up
+    /// tick — a stale (too-early) bound would otherwise silently degrade
+    /// skipping into useless one-cycle hops with no functional symptom.
+    pub fn progress_fingerprint(&self) -> (u64, u64, u32, usize, usize, usize) {
+        (
+            self.retired,
+            self.head_seq,
+            self.rob_instrs,
+            self.waiting.len(),
+            self.scheduled.len(),
+            self.outstanding.len(),
+        )
     }
 
     /// Outstanding memory accesses (test/debug aid).

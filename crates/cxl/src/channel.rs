@@ -61,6 +61,16 @@ pub struct CxlChannel {
     pub rx_busy: u64,
     now: Cycle,
     window_start: Cycle,
+    /// Cached no-op horizon for the link stages 2–6: they are provably
+    /// idle for every cycle strictly before this (the
+    /// [`Self::link_next_event`] bound, memoized after a tick where no
+    /// stage moved anything). The device DDR channels still tick every
+    /// cycle — their `now` anchors bandwidth windows and enqueue
+    /// timestamps — and the completion harvest still runs every cycle, so
+    /// the horizon deliberately excludes DDR state. Reset on
+    /// [`Self::try_enqueue`] and on any harvested completion, the only two
+    /// events that can create link work.
+    idle_until: Cycle,
 }
 
 impl CxlChannel {
@@ -83,6 +93,7 @@ impl CxlChannel {
             rx_busy: 0,
             now: 0,
             window_start: 0,
+            idle_until: 0,
             cfg,
         }
     }
@@ -93,7 +104,15 @@ impl CxlChannel {
 
     /// Accept a request into the CPU-side queue.
     pub fn try_enqueue(&mut self, req: MemRequest) -> Result<(), MemRequest> {
-        self.req_queue.try_push(req)
+        let r = self.req_queue.try_push(req);
+        if r.is_ok() && self.credits > 0 {
+            // The TX serializer may now have work before the cached link
+            // horizon; lower it to the serializer-free cycle (O(1)). With
+            // no credits in hand the horizon already covers the credit
+            // return that must precede any TX start.
+            self.idle_until = self.idle_until.min(self.tx_free_at.max(self.now + 1));
+        }
+        r
     }
 
     /// Route a device-local line address across the device's DDR channels.
@@ -104,11 +123,18 @@ impl CxlChannel {
     }
 
     /// Advance one cycle.
+    ///
+    /// The DDR tick and the completion harvest run every cycle (both are
+    /// cheap: the sub-channels carry their own idle cache and the harvest
+    /// is a heap peek per channel). The link stages 2–6 are gated on a
+    /// cached [`Self::link_next_event`] horizon, memoized after a tick
+    /// where no stage moved anything; a harvest or an enqueue resets it.
     pub fn tick(&mut self, now: Cycle) {
         self.now = now;
         for d in &mut self.ddr {
             d.tick(now);
         }
+        let mut did = false;
 
         // 1. Harvest DDR completions into the RX wait queue.
         let n = self.ddr.len() as u64;
@@ -116,7 +142,14 @@ impl CxlChannel {
             while let Some(mut r) = d.pop_response(now) {
                 r.line_addr = r.line_addr * n + i as u64;
                 self.resp_wait.push_back(r);
+                did = true;
             }
+        }
+        if did {
+            // New RX work invalidates any cached link-idle horizon.
+            self.idle_until = 0;
+        } else if now < self.idle_until {
+            return; // link stages provably idle (see link_next_event)
         }
 
         // 2. RX serializer: start the next response transfer if idle.
@@ -129,6 +162,7 @@ impl CxlChannel {
                 self.rx_busy += occ;
                 let arrives_at = now + occ + 2 * self.cfg.port_latency;
                 self.rx_in_flight.push_back(InFlight { arrives_at, payload: resp });
+                did = true;
             }
         }
 
@@ -150,6 +184,7 @@ impl CxlChannel {
             let total = resp.completed_at - resp.issued_at;
             resp.queue_cycles = total.saturating_sub(resp.service_cycles + resp.cxl_cycles);
             self.delivered.push_back(resp);
+            did = true;
         }
 
         // 3b. Credits released by the device arrive back at the CPU port.
@@ -159,6 +194,7 @@ impl CxlChannel {
             }
             self.credit_returns.pop_front();
             self.credits += 1;
+            did = true;
         }
 
         // 4. TX serializer: put the next request on the wire if idle and a
@@ -178,6 +214,7 @@ impl CxlChannel {
                 self.req_queue.pop();
                 self.credits -= 1;
                 self.tx_in_flight.push_back(InFlight { arrives_at, payload: req });
+                did = true;
             }
         }
 
@@ -189,6 +226,7 @@ impl CxlChannel {
             }
             let f = self.tx_in_flight.pop_front().expect("peeked");
             self.device_buf.try_push(f.payload).expect("credits guarantee space");
+            did = true;
         }
 
         // 6. Drain the device buffer into the DDR controller(s); each
@@ -200,9 +238,14 @@ impl CxlChannel {
             if self.ddr[c].try_enqueue(local_req).is_ok() {
                 self.device_buf.pop();
                 self.credit_returns.push_back(now + 2 * self.cfg.port_latency);
+                did = true;
             } else {
                 break;
             }
+        }
+
+        if !did {
+            self.idle_until = self.link_next_event(now);
         }
     }
 
@@ -266,7 +309,17 @@ impl CxlChannel {
     /// events, RX serializer start, in-flight arrivals, credit returns, and
     /// TX serializer start.
     pub fn next_event(&self, now: Cycle) -> Cycle {
-        let mut next = self.ddr.iter().map(|d| d.next_event(now)).min().unwrap_or(Cycle::MAX);
+        let ddr = self.ddr.iter().map(|d| d.next_event(now)).min().unwrap_or(Cycle::MAX);
+        ddr.min(self.link_next_event(now))
+    }
+
+    /// [`Self::next_event`] restricted to the link stages 2–6 — everything
+    /// except the device DDR channels. This is the tick fast path's idle
+    /// horizon: the harvest stage runs every cycle regardless (and resets
+    /// the horizon when it moves a completion), so DDR state need not
+    /// bound it, sparing a per-idle-cycle scan of the DDR schedulers.
+    fn link_next_event(&self, now: Cycle) -> Cycle {
+        let mut next = Cycle::MAX;
         if !self.resp_wait.is_empty() {
             next = next.min(self.rx_free_at.max(now + 1));
         }

@@ -100,6 +100,11 @@ pub struct SubChannel {
     pub service_time: MeanTracker,
     /// Issued-command log (only when `cfg.log_commands`).
     cmd_log: Vec<CmdRecord>,
+    /// Cached no-op horizon: ticks strictly before this cycle are provably
+    /// no-ops (the [`Self::next_event`] bound, memoized after a tick that
+    /// did nothing). Enqueue — the only external mutation that can create
+    /// work — lowers it to the new entry's own readiness threshold.
+    idle_until: Cycle,
 }
 
 impl SubChannel {
@@ -128,6 +133,7 @@ impl SubChannel {
             queue_delay: MeanTracker::new(),
             service_time: MeanTracker::new(),
             cmd_log: Vec::new(),
+            idle_until: 0,
             cfg,
         }
     }
@@ -206,6 +212,13 @@ impl SubChannel {
         }
         let addr = self.decode(req.line_addr);
         let entry = Entry { req, addr, enqueued_at: now, first_cmd: None, had_act: false };
+        // The new request may become schedulable before the cached no-op
+        // horizon: lower the horizon to the entry's own readiness threshold
+        // (O(1); a full `next_event` recompute here would dominate the
+        // scheduler cost under load). Only lowering keeps the bound sound.
+        if self.idle_until > now + 1 {
+            self.idle_until = self.idle_until.min(self.entry_ready_at(&entry).max(now + 1));
+        }
         if req.is_write {
             self.write_q.push_back(entry);
         } else {
@@ -226,18 +239,40 @@ impl SubChannel {
     }
 
     /// Advance one cycle: handle refresh, pick a command, issue it.
+    ///
+    /// A do-nothing tick with *empty queues* memoizes [`Self::next_event`]
+    /// as an idle horizon, so an idle sub-channel stops paying the
+    /// per-cycle refresh checks and precharge-policy bank sweep until the
+    /// next refresh deadline, speculative PRE, or enqueue. With work
+    /// queued the horizon is not maintained: the bound is conservative
+    /// there (FR-FCFS claiming, drain-direction selection), and measuring
+    /// showed recomputing it after each no-op tick costs more than the
+    /// skipped scans save. [`Self::enqueue`] lowers the horizon; all other
+    /// state evolution is driven by `tick` itself, so the cache cannot go
+    /// stale.
     pub fn tick(&mut self, now: Cycle) {
+        if now < self.idle_until {
+            return; // provably a no-op (see next_event contract)
+        }
+        if !self.tick_inner(now) && self.read_q.is_empty() && self.write_q.is_empty() {
+            self.idle_until = self.next_event(now);
+        }
+    }
+
+    /// One cycle of real scheduler work. Returns whether any command
+    /// issued or refresh state advanced (false = provable no-op).
+    fn tick_inner(&mut self, now: Cycle) -> bool {
         if self.refreshing_until > now {
-            return; // rank busy with REFab
+            return false; // rank busy with REFab
         }
         if self.refresh_pending {
             self.progress_refresh(now);
-            return;
+            return true;
         }
         if now >= self.refresh_due {
             self.refresh_pending = true;
             self.progress_refresh(now);
-            return;
+            return true;
         }
 
         // Write-drain hysteresis: writes are forced out above the high
@@ -252,10 +287,10 @@ impl SubChannel {
             self.draining_writes || (self.read_q.is_empty() && !self.write_q.is_empty());
 
         if self.try_issue_cas(serve_writes, now) {
-            return;
+            return true;
         }
         if self.try_issue_act_or_pre(serve_writes, now) {
-            return;
+            return true;
         }
         // Precharge policy:
         // * OpenAdaptive — with nothing queued, close a stale open row so
@@ -287,8 +322,10 @@ impl SubChannel {
                 self.log_cmd(now, CmdKind::Pre, i, 0);
                 self.counts.pre += 1;
                 self.last_pre_at = now;
+                return true;
             }
         }
+        false
     }
 
     /// During refresh-pending: precharge open banks, then issue REFab.
@@ -518,6 +555,20 @@ impl SubChannel {
         now >= self.act_legal_at(bank_group)
     }
 
+    /// Earliest cycle the next command on `e`'s behalf could become legal:
+    /// CAS for a row hit, PRE for a row conflict, ACT for a closed bank —
+    /// each gated by its bank timer and the channel/rank spacing rules.
+    fn entry_ready_at(&self, e: &Entry) -> Cycle {
+        let bank = &self.banks[e.addr.bank];
+        match bank.open_row {
+            Some(r) if r == e.addr.row => {
+                bank.earliest_cas().max(self.cas_legal_at(e.addr.bank_group, e.req.is_write))
+            }
+            Some(_) => bank.earliest_pre(),
+            None => bank.earliest_act().max(self.act_legal_at(e.addr.bank_group)),
+        }
+    }
+
     /// Earliest future cycle at which ticking this sub-channel could do
     /// observable work, assuming no new requests arrive and all completions
     /// due by `now` have been popped.
@@ -563,18 +614,7 @@ impl SubChannel {
                 .take(self.cfg.sched_window)
                 .chain(self.write_q.iter().take(self.cfg.sched_window))
             {
-                let bank = &self.banks[e.addr.bank];
-                let at = match bank.open_row {
-                    // Row hit: CAS gated by the bank timer and channel rules.
-                    Some(r) if r == e.addr.row => bank
-                        .earliest_cas()
-                        .max(self.cas_legal_at(e.addr.bank_group, e.req.is_write)),
-                    // Row conflict: PRE gated by tRAS/tRTP/tWR.
-                    Some(_) => bank.earliest_pre(),
-                    // Closed bank: ACT gated by tRP/tRC and rank rules.
-                    None => bank.earliest_act().max(self.act_legal_at(e.addr.bank_group)),
-                };
-                next = next.min(at);
+                next = next.min(self.entry_ready_at(e));
             }
         }
         // Speculative precharge: Closed policy closes stale rows even with

@@ -14,8 +14,9 @@
 //! * **zero-cost telemetry** — every telemetry stamping site must sit
 //!   behind `if T::ENABLED` so the `NullTelemetry` monomorphization
 //!   compiles back to the pre-telemetry hot path;
-//! * **DDR5 fidelity** — a timing parameter declared in the config struct
-//!   but never read by the constraint checker is a silent fidelity bug.
+//! * **model fidelity** — a parameter declared in a fidelity-critical
+//!   config struct (DDR5 timings, CXL link transfer costs) but never read
+//!   by the enforcing code is a silent fidelity bug.
 //!
 //! This crate encodes those contracts as a catalog of lints (see
 //! [`CATALOG`]) and runs them over the workspace source. The build
@@ -116,9 +117,10 @@ pub const CATALOG: &[LintInfo] = &[
     },
     LintInfo {
         id: "C01",
-        summary: "every declared DDR5 timing parameter must be read by the constraint code",
-        rationale: "a field in DramTimings that channel/bank scheduling never reads is a \
-                    declared-but-unenforced timing — the config claims DDR5 fidelity the \
+        summary: "every declared fidelity parameter must be read by its enforcing code",
+        rationale: "a field in a fidelity-critical config struct (DramTimings, CxlLinkConfig) \
+                    that the scheduling/link-pipeline code never reads is a \
+                    declared-but-unenforced parameter — the config claims a fidelity the \
                     simulator does not deliver.",
     },
 ];

@@ -516,7 +516,7 @@ pub fn check_u01(ctx: &FileCtx) -> Vec<Finding> {
 }
 
 // ---------------------------------------------------------------------------
-// C01 — declared-but-unenforced DDR5 timing parameters
+// C01 — declared-but-unenforced fidelity parameters (DDR5 timings, CXL link)
 // ---------------------------------------------------------------------------
 
 /// Field names (with lines) of `struct <name> { … }` in `src`.
@@ -586,8 +586,8 @@ pub fn check_c01(
             line,
             ident: f.clone(),
             message: format!(
-                "timing parameter `{struct_name}.{f}` is declared but never read by the \
-                 constraint-check code ({}) — a declared-but-unenforced timing is a silent \
+                "fidelity parameter `{struct_name}.{f}` is declared but never read by the \
+                 enforcing code ({}) — a declared-but-unenforced parameter is a silent \
                  fidelity bug",
                 files.join(", ")
             ),
@@ -595,19 +595,36 @@ pub fn check_c01(
         .collect()
 }
 
-/// Workspace C01 invocation: `DramTimings` vs. the DRAM scheduling files.
+/// Workspace C01 invocations: each fidelity-critical config struct against
+/// the code that must enforce it — `DramTimings` vs. the DRAM scheduling
+/// files, `CxlLinkConfig` vs. the CXL link pipeline.
 pub fn lint_cross_reference(root: &Path) -> Result<Vec<Finding>, String> {
     let read =
         |rel: &str| std::fs::read_to_string(root.join(rel)).map_err(|e| format!("{rel}: {e}"));
-    let config_rel = "crates/dram/src/config.rs";
-    let config = read(config_rel)?;
+    let mut out = Vec::new();
+
+    let dram_rel = "crates/dram/src/config.rs";
+    let dram_cfg = read(dram_rel)?;
     let bank = read("crates/dram/src/bank.rs")?;
     let sub = read("crates/dram/src/subchannel.rs")?;
     let chan = read("crates/dram/src/channel.rs")?;
-    Ok(check_c01(
-        config_rel,
-        &config,
+    out.extend(check_c01(
+        dram_rel,
+        &dram_cfg,
         "DramTimings",
         &[("bank.rs", &bank), ("subchannel.rs", &sub), ("channel.rs", &chan)],
-    ))
+    ));
+
+    let cxl_rel = "crates/cxl/src/config.rs";
+    let cxl_cfg = read(cxl_rel)?;
+    let cxl_chan = read("crates/cxl/src/channel.rs")?;
+    let cxl_mem = read("crates/cxl/src/memory.rs")?;
+    out.extend(check_c01(
+        cxl_rel,
+        &cxl_cfg,
+        "CxlLinkConfig",
+        &[("channel.rs", &cxl_chan), ("memory.rs", &cxl_mem)],
+    ));
+
+    Ok(out)
 }

@@ -135,6 +135,39 @@ fn c01_catches_orphaned_dram_timing_in_real_tree() {
     assert_eq!(clean, vec![], "every DramTimings field is read by the constraint code");
 }
 
+/// C01 against the real CXL tree: orphaning a link-transfer parameter
+/// (same rename trick as the DRAM test above) must be caught.
+#[test]
+fn c01_catches_orphaned_cxl_link_parameter_in_real_tree() {
+    let root = format!("{}/../..", env!("CARGO_MANIFEST_DIR"));
+    let read = |rel: &str| std::fs::read_to_string(format!("{root}/{rel}")).unwrap();
+    let config = read("crates/cxl/src/config.rs");
+    let chan = read("crates/cxl/src/channel.rs").replace("port_latency", "port_latency_unread");
+    let mem = read("crates/cxl/src/memory.rs").replace("port_latency", "port_latency_unread");
+    let findings = rules::check_c01(
+        "crates/cxl/src/config.rs",
+        &config,
+        "CxlLinkConfig",
+        &[("channel.rs", &chan), ("memory.rs", &mem)],
+    );
+    let idents: Vec<&str> = findings.iter().map(|f| f.ident.as_str()).collect();
+    assert!(idents.contains(&"port_latency"), "orphaned port_latency caught: {findings:#?}");
+
+    // The untouched tree flags exactly the report-only `name` tag (the one
+    // CxlLinkConfig field the link pipeline legitimately never reads),
+    // which lint-allow.toml suppresses with that justification.
+    let chan = read("crates/cxl/src/channel.rs");
+    let mem = read("crates/cxl/src/memory.rs");
+    let clean = rules::check_c01(
+        "crates/cxl/src/config.rs",
+        &config,
+        "CxlLinkConfig",
+        &[("channel.rs", &chan), ("memory.rs", &mem)],
+    );
+    let idents: Vec<&str> = clean.iter().map(|f| f.ident.as_str()).collect();
+    assert_eq!(idents, vec!["name"], "every transfer-cost field is read: {clean:#?}");
+}
+
 #[test]
 fn malformed_allow_entry_missing_reason_is_rejected() {
     let bad = r#"

@@ -10,6 +10,8 @@
 //! | `COAXIAL_WARMUP`  | instructions per core of cache/DRAM warmup         |
 //! | `COAXIAL_JOBS`    | worker threads for the parallel experiment runner  |
 //! | `COAXIAL_SKIP`    | `off`/`0`/`false` disables hot-loop cycle skipping |
+//! | `COAXIAL_ENGINE`  | run-loop engine: `event` (default) or `lockstep`   |
+//! | `COAXIAL_DEBUG`   | end-of-run engine diagnostics on stderr            |
 //! | `COAXIAL_PREFILL_CACHE_MB` | byte budget (MB) for each cross-run prefill cache |
 
 /// Read a `u64` from the environment, falling back to `default` when the
@@ -49,6 +51,23 @@ pub fn jobs() -> usize {
 /// (`COAXIAL_SKIP`, on by default).
 pub fn cycle_skip() -> bool {
     env_flag("COAXIAL_SKIP", true)
+}
+
+/// Raw run-loop engine selection (`COAXIAL_ENGINE`), lowercased; `None`
+/// when unset. The simulation driver maps `"event"` (the default) and
+/// `"lockstep"` (the differential-testing oracle) to engines and rejects
+/// anything else, so a typo cannot silently fall back.
+pub fn engine_name() -> Option<String> {
+    std::env::var("COAXIAL_ENGINE").ok().map(|v| v.to_ascii_lowercase())
+}
+
+/// Whether to print end-of-run engine diagnostics — skip percentages,
+/// prefill vs. loop wall time — on stderr (`COAXIAL_DEBUG`, off by
+/// default). Diagnostics never touch simulated state or reports; the
+/// machine-readable equivalents live in the metrics registry under
+/// `engine.*`.
+pub fn debug() -> bool {
+    env_flag("COAXIAL_DEBUG", false)
 }
 
 /// Byte budget, in MB, for *each* of the simulation driver's cross-run

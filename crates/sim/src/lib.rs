@@ -13,7 +13,8 @@
 //!   percentile queries (re-exported from `coaxial-telemetry`, the
 //!   canonical implementation),
 //! * [`lru`] — a byte-bounded keyed LRU (prefill-state memoization),
-//! * [`queue`] — bounded FIFO queues that record occupancy statistics,
+//! * [`queue`] — bounded FIFO queues that record occupancy statistics, and
+//!   the deterministic event min-queue behind the event-driven run loop,
 //! * [`env`] — the shared `COAXIAL_*` environment knobs (budgets, job count,
 //!   cycle-skip toggle).
 
@@ -30,7 +31,7 @@ pub mod time;
 
 pub use lru::ByteBoundedLru;
 pub use narrow::{idx, small_u32, small_u32_u64, trunc_u32, trunc_u64, trunc_usize};
-pub use queue::BoundedQueue;
+pub use queue::{BoundedQueue, EventQueue};
 pub use rng::SplitMix64;
 pub use stats::{Histogram, MeanTracker};
 pub use time::{cycles_to_ns, ns_to_cycles, Cycle, CPU_FREQ_GHZ, NS_PER_CYCLE};

@@ -29,6 +29,7 @@
 pub mod area;
 pub mod config;
 pub mod cost;
+pub mod engine;
 pub mod experiments;
 pub mod pinout;
 pub mod power;
@@ -36,5 +37,6 @@ pub mod runner;
 pub mod server;
 
 pub use config::{MemorySystemKind, SystemConfig};
+pub use engine::EngineKind;
 pub use runner::{parallel_map, run_all, RunSpec};
 pub use server::{RunReport, Simulation};

@@ -22,6 +22,7 @@ use coaxial_workloads::Workload;
 use serde::Serialize;
 
 use crate::config::{MemorySystemKind, SystemConfig};
+use crate::engine::{self, EngineKind, RunParams};
 
 /// Default measured instructions per core. The paper runs 200 M after
 /// 50 M of warmup on a cluster; this reproduction defaults to a laptop-
@@ -198,6 +199,8 @@ pub struct Simulation {
     max_cycles: Cycle,
     /// Hot-loop cycle skipping; `None` follows `COAXIAL_SKIP` (default on).
     cycle_skip: Option<bool>,
+    /// Run-loop engine; `None` follows `COAXIAL_ENGINE` (default: event).
+    engine: Option<EngineKind>,
 }
 
 impl Simulation {
@@ -224,6 +227,7 @@ impl Simulation {
             warmup,
             max_cycles: 0,
             cycle_skip: None,
+            engine: None,
         }
     }
 
@@ -274,6 +278,14 @@ impl Simulation {
     /// way (see DESIGN.md "Performance & parallelism").
     pub fn cycle_skip(mut self, on: bool) -> Self {
         self.cycle_skip = Some(on);
+        self
+    }
+
+    /// Force a run-loop engine (overrides `COAXIAL_ENGINE`). Both engines
+    /// produce bit-identical reports, telemetry, and metrics; `Lockstep` is
+    /// the slow differential-testing oracle (see `engine` module docs).
+    pub fn engine(mut self, kind: EngineKind) -> Self {
+        self.engine = Some(kind);
         self
     }
 
@@ -434,94 +446,23 @@ impl Simulation {
         };
 
         let skip = self.cycle_skip.unwrap_or_else(coaxial_sim::env::cycle_skip);
+        let kind = self.engine.unwrap_or_else(EngineKind::from_env);
 
-        let mut now: Cycle = 0;
-        let mut warm = self.warmup == 0;
-        // IPC freeze-point per core.
-        let mut finish_ipc: Vec<Option<f64>> = vec![None; cores.len()];
-        let mut dbg_skipped: u64 = 0;
-        let mut dbg_blocked_iters: u64 = 0;
-
-        while now < max_cycles {
-            hierarchy.tick(now);
-            while let Some((core, id)) = hierarchy.pop_completion() {
-                if (core as usize) < cores.len() {
-                    cores[core as usize].on_memory_complete(id);
-                }
-            }
-            for core in cores.iter_mut() {
-                core.tick(now, &mut hierarchy);
-            }
-            now += 1;
-
-            // Warmup flip and finish checks only observe retired-instruction
-            // counts, which cannot change over a skipped (fully-blocked)
-            // span — so evaluating them at simulated cycles only is exact.
-            if !warm && cores.iter().all(|c| c.retired >= self.warmup) {
-                warm = true;
-                hierarchy.reset_stats(now);
-                for c in cores.iter_mut() {
-                    c.reset_stats();
-                }
-            }
-            if warm {
-                let mut all_done = true;
-                for (i, c) in cores.iter().enumerate() {
-                    if finish_ipc[i].is_none() {
-                        if c.retired >= self.instructions {
-                            finish_ipc[i] = Some(c.ipc());
-                        } else {
-                            all_done = false;
-                        }
-                    }
-                }
-                if all_done {
-                    break;
-                }
-            }
-
-            // Cycle skipping: when every core is fully blocked (ROB-head
-            // load outstanding, ROB full, nothing issuable) and the
-            // hierarchy proves it has no work before cycle T, every cycle in
-            // [now, T) would be a pure stall tick — replay them in O(1) and
-            // jump. Clamped to max_cycles-1 so the final simulated cycle
-            // (which pins backend measurement windows) matches the unskipped
-            // loop exactly.
-            if skip {
-                // Probe the cores first: they veto most skip attempts and
-                // their bound is O(issue window), while the hierarchy bound
-                // walks every channel. Only consult the hierarchy once every
-                // core is provably stalled.
-                let mut all_blocked = true;
-                let mut target = Cycle::MAX;
-                for c in cores.iter() {
-                    match c.next_event() {
-                        Some(e) => target = target.min(e),
-                        None => {
-                            all_blocked = false;
-                            break;
-                        }
-                    }
-                }
-                if all_blocked {
-                    target = target.min(hierarchy.next_event(now - 1));
-                    dbg_blocked_iters += 1;
-                    let target = target.min(max_cycles - 1);
-                    if target > now {
-                        let skipped = target - now;
-                        dbg_skipped += skipped;
-                        for c in cores.iter_mut() {
-                            c.fast_forward(skipped);
-                        }
-                        now = target;
-                    }
-                }
-            }
-        }
-        if std::env::var("COAXIAL_SKIP_DEBUG").is_ok() {
+        let params =
+            RunParams { warmup: self.warmup, instructions: self.instructions, max_cycles, skip };
+        let outcome = match kind {
+            EngineKind::Event => engine::run_event(&params, &mut cores, &mut hierarchy),
+            EngineKind::Lockstep => engine::run_lockstep(&params, &mut cores, &mut hierarchy),
+        };
+        let now = outcome.now;
+        let finish_ipc = outcome.finish_ipc;
+        if coaxial_sim::env::debug() {
             eprintln!(
-                "skip-debug: now={now} skipped={dbg_skipped} ({:.1}%) blocked_iters={dbg_blocked_iters} prefill={:.3}s loop={:.3}s",
-                100.0 * dbg_skipped as f64 / now.max(1) as f64,
+                "engine-debug: engine={} now={now} skipped={} ({:.1}%) blocked_iters={} prefill={:.3}s loop={:.3}s",
+                kind.name(),
+                outcome.stats.skipped_cycles,
+                100.0 * outcome.stats.skipped_cycles as f64 / now.max(1) as f64,
+                outcome.stats.blocked_iters,
                 dbg_prefill.as_secs_f64(),
                 dbg_t0.elapsed().as_secs_f64() - dbg_prefill.as_secs_f64()
             );
@@ -575,6 +516,11 @@ impl Simulation {
         let mut metrics = MetricsRegistry::new();
         report.hier.export_metrics(&mut metrics, "hier");
         hierarchy.backend().export_metrics(&mut metrics, "mem");
+        // Engine skip-path counters: identical across engines by the
+        // visited-cycle equivalence argument (see engine.rs module docs),
+        // so the differential test may compare them byte-for-byte.
+        metrics.set_counter("engine.skipped_cycles", outcome.stats.skipped_cycles);
+        metrics.set_counter("engine.blocked_iters", outcome.stats.blocked_iters);
         prefill_cache_metrics(&mut metrics);
         (report, hierarchy.into_telemetry(), metrics)
     }
@@ -689,6 +635,34 @@ mod tests {
             assert_eq!(fast.ddr.elapsed_cycles, slow.ddr.elapsed_cycles, "{wl}: window");
             assert_eq!(fast.breakdown_ns, slow.breakdown_ns, "{wl}: breakdown");
             assert_eq!(fast.bandwidth_gbs, slow.bandwidth_gbs, "{wl}: bandwidth");
+        }
+    }
+
+    #[test]
+    fn skip_from_cycle_zero_is_exact_in_both_engines() {
+        // Regression test for the skip-probe underflow: with no warmup the
+        // very first skip attempt can fire while `now` is still small, and
+        // the hierarchy probe's `now - 1` horizon argument used to underflow
+        // in debug builds (now saturating, see `engine::run_lockstep`).
+        // raytrace is latency-bound, so skip spans appear immediately.
+        let run = |kind: EngineKind, skip: bool| {
+            let w = Workload::by_name("raytrace").expect("workload exists");
+            Simulation::new(SystemConfig::coaxial_4x(), w)
+                .instructions_per_core(3_000)
+                .warmup(0)
+                .cycle_skip(skip)
+                .engine(kind)
+                .run()
+        };
+        let oracle = run(EngineKind::Lockstep, false);
+        for kind in [EngineKind::Lockstep, EngineKind::Event] {
+            let fast = run(kind, true);
+            assert_eq!(fast.cycles, oracle.cycles, "{}: cycle count", kind.name());
+            assert_eq!(fast.ipc, oracle.ipc, "{}: IPC", kind.name());
+            assert_eq!(fast.per_core_ipc, oracle.per_core_ipc, "{}: per-core IPC", kind.name());
+            assert_eq!(fast.ddr.reads, oracle.ddr.reads, "{}: ddr reads", kind.name());
+            assert_eq!(fast.ddr.writes, oracle.ddr.writes, "{}: ddr writes", kind.name());
+            assert_eq!(fast.breakdown_ns, oracle.breakdown_ns, "{}: breakdown", kind.name());
         }
     }
 
