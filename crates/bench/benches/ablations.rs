@@ -6,16 +6,30 @@
 //! 4. **L2 MSHR count** — per-core MLP ceiling;
 //! 5. **L2 prefetching** — next-line and IP-stride on both systems,
 //!    demonstrating the paper's bandwidth-funds-latency-tolerance thesis
-//!    with a second mechanism beside CALM.
+//!    with a second mechanism beside CALM;
+//! 6. **DRAM speed grade** — every DDR5 timing scaled together;
+//! 7. **slice size** — core-count scaling of the COAXIAL win;
+//! 8. **seed stability** — headline-number sensitivity to the RNG draw.
+//!
+//! Sections 5–8 run through the knob-coverage sweeps in
+//! `coaxial_system::experiments`, so they parallelize over `COAXIAL_JOBS`
+//! like every figure sweep.
 
 use coaxial_bench::{banner, f2, Table};
 use coaxial_cache::PrefetchPolicy;
 use coaxial_dram::config::PagePolicy;
+use coaxial_system::experiments::{
+    core_scaling, dram_timing_scale, prefetch_sweep, seed_stability, Budget,
+};
 use coaxial_system::{Simulation, SystemConfig};
 use coaxial_workloads::Workload;
 
 fn budget() -> u64 {
     std::env::var("COAXIAL_INSTR").ok().and_then(|v| v.parse().ok()).unwrap_or(40_000)
+}
+
+fn sweep_budget() -> Budget {
+    Budget { instructions: budget(), warmup: 0 }
 }
 
 const WORKLOADS: [&str; 6] = ["stream-triad", "lbm", "PageRank", "mcf", "masstree", "kmeans"];
@@ -121,30 +135,20 @@ fn main() {
         "coax next-line",
         "coax ip-stride",
     ]);
+    let policies = [PrefetchPolicy::NextLine { degree: 2 }, PrefetchPolicy::IpStride { degree: 4 }];
+    let rows = prefetch_sweep(&policies, &WORKLOADS, sweep_budget());
     let mut gains: [Vec<f64>; 4] = Default::default();
-    for wl in WORKLOADS {
-        let b0 = ipc(SystemConfig::ddr_baseline(), wl);
-        let c0 = ipc(SystemConfig::coaxial_4x(), wl);
-        let bn = ipc(
-            SystemConfig::ddr_baseline().with_prefetch(PrefetchPolicy::NextLine { degree: 2 }),
-            wl,
-        ) / b0;
-        let bs = ipc(
-            SystemConfig::ddr_baseline().with_prefetch(PrefetchPolicy::IpStride { degree: 4 }),
-            wl,
-        ) / b0;
-        let cn = ipc(
-            SystemConfig::coaxial_4x().with_prefetch(PrefetchPolicy::NextLine { degree: 2 }),
-            wl,
-        ) / c0;
-        let cs = ipc(
-            SystemConfig::coaxial_4x().with_prefetch(PrefetchPolicy::IpStride { degree: 4 }),
-            wl,
-        ) / c0;
-        for (v, g) in [bn, bs, cn, cs].iter().zip(gains.iter_mut()) {
+    for (wl, pair) in WORKLOADS.iter().zip(rows.chunks_exact(policies.len())) {
+        let vals = [
+            pair[0].base_rel_ipc,
+            pair[1].base_rel_ipc,
+            pair[0].coax_rel_ipc,
+            pair[1].coax_rel_ipc,
+        ];
+        for (v, g) in vals.iter().zip(gains.iter_mut()) {
             g.push(*v);
         }
-        t.row(&[wl.into(), f2(bn), f2(bs), f2(cn), f2(cs)]);
+        t.row(&[(*wl).into(), f2(vals[0]), f2(vals[1]), f2(vals[2]), f2(vals[3])]);
     }
     t.row(&[
         "geomean".into(),
@@ -159,6 +163,38 @@ fn main() {
         "\nexpectation: prefetch gains should be larger (or losses smaller) on COAXIAL than \
          on the bandwidth-starved baseline — the same asymmetry the paper shows for CALM."
     );
+
+    // ── 6. DRAM speed grade ───────────────────────────────────────────
+    println!("\n6) DRAM speed grade (geomean IPC; every DDR5 timing scaled together)\n");
+    let mut t = Table::new(&["timing scale", "baseline", "COAXIAL-4x"]);
+    for r in dram_timing_scale(&[0.75, 1.0, 1.5], &WORKLOADS, sweep_budget()) {
+        t.row(&[format!("{:.2}x", r.factor), f2(r.base_geomean_ipc), f2(r.coax_geomean_ipc)]);
+    }
+    t.print();
+    t.write_csv("ablation_dram_speed_grade");
+
+    // ── 7. Slice size ─────────────────────────────────────────────────
+    println!("\n7) slice size (geomean IPC and COAXIAL speedup per core count)\n");
+    let mut t = Table::new(&["cores", "baseline", "COAXIAL-4x", "speedup"]);
+    for r in core_scaling(&[6, 12, 24], &WORKLOADS, sweep_budget()) {
+        t.row(&[
+            r.cores.to_string(),
+            f2(r.base_geomean_ipc),
+            f2(r.coax_geomean_ipc),
+            f2(r.speedup),
+        ]);
+    }
+    t.print();
+    t.write_csv("ablation_core_scaling");
+
+    // ── 8. Seed stability ─────────────────────────────────────────────
+    println!("\n8) seed stability (COAXIAL-4x geomean IPC per RNG seed)\n");
+    let mut t = Table::new(&["seed", "geomean IPC"]);
+    for r in seed_stability(&[0xC0A51A1, 1, 2, 3], &WORKLOADS, sweep_budget()) {
+        t.row(&[format!("{:#x}", r.seed), f2(r.geomean_ipc)]);
+    }
+    t.print();
+    t.write_csv("ablation_seed_stability");
 }
 
 /// Run a simulation with a hand-built hierarchy config (for knobs that

@@ -84,6 +84,12 @@ pub struct DramTimings {
     pub t_rfc: Cycle,
 }
 
+/// One scaled timing, rounded to the nearest 2.4 GHz clock and floored at
+/// 1 cycle (a zero timing would let commands overlap unphysically).
+fn scale_cycle(c: Cycle, factor: f64) -> Cycle {
+    coaxial_sim::narrow::trunc_u64((c as f64 * factor).round()).max(1)
+}
+
 impl DramTimings {
     /// DDR5-4800, CL40 speed grade (JESD79-5 / Micron datasheet values,
     /// rounded to 0.41667 ns clocks).
@@ -108,6 +114,37 @@ impl DramTimings {
             t_turnaround: 2,
             t_refi: 9360, // 3.9 µs
             t_rfc: 708,   // 295 ns (16 Gb die, JESD79-5 tRFC1)
+        }
+    }
+
+    /// Every timing parameter multiplied by `factor` (sensitivity sweeps:
+    /// "how much do the headline numbers depend on the exact speed
+    /// grade?"). Data-transfer and turnaround cycles scale with the rest.
+    /// `t_rc` is rebuilt from the scaled `t_ras`/`t_rp` so the JEDEC
+    /// identity `tRC = tRAS + tRP` survives rounding.
+    pub fn scaled(&self, factor: f64) -> Self {
+        assert!(factor > 0.0, "timing scale factor must be positive");
+        let s = |c: Cycle| scale_cycle(c, factor);
+        Self {
+            cl: s(self.cl),
+            cwl: s(self.cwl),
+            t_rcd: s(self.t_rcd),
+            t_rp: s(self.t_rp),
+            t_ras: s(self.t_ras),
+            t_rc: s(self.t_ras) + s(self.t_rp),
+            t_ccd_l: s(self.t_ccd_l),
+            t_ccd_s: s(self.t_ccd_s),
+            t_rrd_l: s(self.t_rrd_l),
+            t_rrd_s: s(self.t_rrd_s),
+            t_faw: s(self.t_faw),
+            t_wr: s(self.t_wr),
+            t_rtp: s(self.t_rtp),
+            t_wtr_l: s(self.t_wtr_l),
+            t_wtr_s: s(self.t_wtr_s),
+            t_burst: s(self.t_burst),
+            t_turnaround: s(self.t_turnaround),
+            t_refi: s(self.t_refi),
+            t_rfc: s(self.t_rfc),
         }
     }
 
@@ -205,6 +242,13 @@ impl DramConfig {
         self
     }
 
+    /// Same geometry with every timing parameter scaled by `factor`
+    /// (speed-grade sensitivity sweeps; see [`DramTimings::scaled`]).
+    pub fn with_timing_scale(mut self, factor: f64) -> Self {
+        self.timings = self.timings.scaled(factor);
+        self
+    }
+
     /// Total banks per sub-channel (across ranks).
     pub fn banks_per_subchannel(&self) -> usize {
         self.ranks * self.bank_groups * self.banks_per_group
@@ -258,5 +302,20 @@ mod tests {
     fn trc_is_tras_plus_trp() {
         let t = DramTimings::ddr5_4800();
         assert_eq!(t.t_rc, t.t_ras + t.t_rp);
+    }
+
+    #[test]
+    fn scaled_timings_preserve_trc_identity_and_floor() {
+        let t = DramTimings::ddr5_4800().scaled(1.5);
+        assert_eq!(t.cl, 60);
+        assert_eq!(t.t_rc, t.t_ras + t.t_rp, "JEDEC identity survives rounding");
+        // Extreme down-scaling floors every timing at one cycle instead of
+        // producing unphysical zero-cycle commands.
+        let tiny = DramTimings::ddr5_4800().scaled(0.001);
+        assert!(tiny.t_turnaround >= 1 && tiny.t_burst >= 1);
+        assert_eq!(tiny.t_rc, tiny.t_ras + tiny.t_rp);
+        // Unit scale is an exact no-op.
+        let same = DramTimings::ddr5_4800().scaled(1.0);
+        assert_eq!(same.t_rfc, DramTimings::ddr5_4800().t_rfc);
     }
 }

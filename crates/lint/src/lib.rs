@@ -16,17 +16,23 @@
 //!   compiles back to the pre-telemetry hot path;
 //! * **model fidelity** — a parameter declared in a fidelity-critical
 //!   config struct (DDR5 timings, CXL link transfer costs) but never read
-//!   by the enforcing code is a silent fidelity bug.
+//!   by the enforcing code — or never varied by any experiment sweep — is
+//!   a silent fidelity bug.
 //!
 //! This crate encodes those contracts as a catalog of lints (see
-//! [`CATALOG`]) and runs them over the workspace source. The build
-//! environment is offline (no `syn`), so the rules run over a small
-//! hand-rolled token stream ([`lexer`]) that is exact about comments,
-//! strings, and lifetimes — the things that make text-level linting
-//! unsound — and deliberately approximate about everything else. False
-//! positives are expected occasionally and are handled by a checked-in
-//! suppression file, `lint-allow.toml`, in which every entry must carry a
-//! reason ([`allow`]).
+//! [`CATALOG`], or `docs/LINTS.md` for the long-form rule catalog) and
+//! runs them over the workspace source. The build environment is offline
+//! (no `syn`), so analysis is hand-rolled in three layers: an exact
+//! lexer ([`lexer`]), a recursive-descent *item* parser over the token
+//! stream ([`parser`]) producing per-file item trees, and a
+//! workspace-wide symbol graph ([`symbols`]) recording definitions and
+//! read/write/call references. Per-file rules run over tokens; the
+//! cross-file rules (C01/E01/E02/M01) run over the graph. Resolution is
+//! name-based rather than type-checked, which can only hide violations
+//! on commonly-named fields, never invent them — the right failure
+//! direction for a gate. Residual false positives are handled by a
+//! checked-in suppression file, `lint-allow.toml`, in which every entry
+//! must carry a reason ([`allow`]).
 //!
 //! Run as `cargo run -p coaxial-lint --release` (wired into
 //! `scripts/check.sh`); exits non-zero on any unsuppressed finding or any
@@ -34,8 +40,11 @@
 
 pub mod allow;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
+pub mod symbols;
 
+use std::collections::BTreeSet;
 use std::fmt;
 use std::path::{Path, PathBuf};
 
@@ -70,7 +79,8 @@ pub struct LintInfo {
 
 /// The lint catalog. IDs are grouped by contract: D=determinism,
 /// T=timing arithmetic, Z=zero-cost telemetry, U=unsafe hygiene,
-/// C=config/constraint cross-reference.
+/// C=config/constraint cross-reference, E=experiment/knob coverage,
+/// M=metric hygiene.
 pub const CATALOG: &[LintInfo] = &[
     LintInfo {
         id: "D01",
@@ -78,7 +88,9 @@ pub const CATALOG: &[LintInfo] = &[
         rationale: "std hash iteration order is randomized per process; iterating one on any \
                     path that feeds simulated state or serialized output breaks bit-identical \
                     sweeps. Use BTreeMap/BTreeSet, or collect and sort explicitly. Keyed \
-                    lookup (insert/get/remove/contains) is fine.",
+                    lookup (insert/get/remove/contains) is fine. Bindings are resolved \
+                    through the workspace symbol graph, so collections that arrive via a \
+                    function return or method chain are caught too.",
     },
     LintInfo {
         id: "D02",
@@ -107,7 +119,9 @@ pub const CATALOG: &[LintInfo] = &[
         summary: "telemetry sink calls must be dominated by an `if T::ENABLED` guard",
         rationale: "an unguarded sink call in TelemetrySink-generic code costs real work in \
                     the NullTelemetry monomorphization and breaks the zero-cost contract \
-                    held by the telemetry-equivalence test and the sim_throughput bench.",
+                    held by the telemetry-equivalence test and the sim_throughput bench. The \
+                    sink method set is read from the TelemetrySink trait definition itself, \
+                    not a hard-coded name list.",
     },
     LintInfo {
         id: "U01",
@@ -122,6 +136,33 @@ pub const CATALOG: &[LintInfo] = &[
                     that the scheduling/link-pipeline code never reads is a \
                     declared-but-unenforced parameter — the config claims a fidelity the \
                     simulator does not deliver.",
+    },
+    LintInfo {
+        id: "E01",
+        summary: "every pub config field must be read somewhere in model code",
+        rationale: "CXL-memory characterization studies (CXL-DMSim, CXLMemSim) show that \
+                    silently-unused fidelity knobs corrupt results: the config advertises a \
+                    parameter the model ignores. Every pub field of DramTimings/DramConfig/\
+                    CxlLinkConfig/SystemConfig must have a field-read site in non-test model \
+                    code — wire the knob in or delete it.",
+    },
+    LintInfo {
+        id: "E02",
+        summary: "every pub config field must be exercised by a sweep or env override",
+        rationale: "a knob that is read by the model but that no experiment in \
+                    experiments.rs/env.rs ever varies is untested fidelity: nothing would \
+                    notice if its wiring broke. A field counts as exercised when a \
+                    config-layer fn reachable from the experiment entry points writes it \
+                    from a parameter (a builder the sweeps vary) or from two distinct \
+                    reachable constructors (a variant-pair comparison).",
+    },
+    LintInfo {
+        id: "M01",
+        summary: "metric paths are unique lowercase-dot-case; every latency component stamps",
+        rationale: "the telemetry registry is stringly-keyed: two subsystems registering the \
+                    same constant dot-path silently overwrite each other, mixed-case paths \
+                    break downstream tooling, and a latency Component variant with no \
+                    MissRecord stamp site reports misleading zeros in every breakdown.",
     },
 ];
 
@@ -145,11 +186,81 @@ impl Report {
     pub fn clean(&self) -> bool {
         self.findings.is_empty() && self.stale_suppressions.is_empty()
     }
+
+    /// Machine-readable report (no serde_json in the offline container, so
+    /// the encoder is hand-rolled; strings are escaped per RFC 8259).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"findings\":[");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"id\":{},\"path\":{},\"line\":{},\"ident\":{},\"message\":{}}}",
+                json_str(f.id),
+                json_str(&f.path),
+                f.line,
+                json_str(&f.ident),
+                json_str(&f.message)
+            ));
+        }
+        out.push_str("],\"stale_suppressions\":[");
+        for (i, s) in self.stale_suppressions.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"lint\":{},\"path\":{},\"line\":{}}}",
+                json_str(&s.lint),
+                json_str(&s.path),
+                s.line
+            ));
+        }
+        out.push_str(&format!(
+            "],\"suppressed\":{},\"files\":{},\"clean\":{}}}",
+            self.suppressed,
+            self.files,
+            self.clean()
+        ));
+        out
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// Lint the workspace rooted at `root` using the suppression list in
 /// `<root>/lint-allow.toml` (if present).
 pub fn lint_workspace(root: &Path) -> Result<Report, String> {
+    lint_workspace_scoped(root, None)
+}
+
+/// Like [`lint_workspace`], optionally scoped to a set of repo-relative
+/// paths (`--changed-only`). The *analysis* always runs over the full
+/// tree — cross-file rules need the whole graph, and a narrowed input
+/// would invent E01/E02 "never read" findings — only the reported
+/// findings are filtered. Scoped runs also skip stale-suppression
+/// reporting, since an entry for an unchanged file legitimately matches
+/// nothing in the filtered view.
+pub fn lint_workspace_scoped(
+    root: &Path,
+    scope: Option<&BTreeSet<String>>,
+) -> Result<Report, String> {
     let allow_path = root.join("lint-allow.toml");
     let allows = if allow_path.exists() {
         let text = std::fs::read_to_string(&allow_path)
@@ -159,14 +270,16 @@ pub fn lint_workspace(root: &Path) -> Result<Report, String> {
         Vec::new()
     };
 
-    let files = collect_rs_files(root)?;
+    let sources = workspace_sources(root)?;
+    let ctxs: Vec<rules::FileCtx> =
+        sources.iter().map(|(rel, src)| rules::FileCtx::new(rel, src)).collect();
+    let ws = symbols::Workspace::from_ctxs(&ctxs);
+
     let mut raw = Vec::new();
-    for path in &files {
-        let rel = path.strip_prefix(root).unwrap_or(path).to_string_lossy().replace('\\', "/");
-        let src = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
-        raw.extend(rules::lint_file(&rel, &src));
+    for ctx in &ctxs {
+        raw.extend(rules::lint_file(ctx, &ws));
     }
-    raw.extend(rules::lint_cross_reference(root)?);
+    raw.extend(rules::lint_cross_file(&ws));
     raw.sort_by(|a, b| (&a.path, a.line, a.id).cmp(&(&b.path, b.line, b.id)));
 
     let mut used = vec![false; allows.len()];
@@ -181,9 +294,29 @@ pub fn lint_workspace(root: &Path) -> Result<Report, String> {
             None => findings.push(f),
         }
     }
-    let stale_suppressions =
-        allows.into_iter().zip(&used).filter(|(_, &u)| !u).map(|(a, _)| a).collect();
-    Ok(Report { findings, stale_suppressions, suppressed, files: files.len() })
+    if let Some(scope) = scope {
+        findings.retain(|f| scope.contains(&f.path));
+    }
+    let stale_suppressions = if scope.is_some() {
+        Vec::new()
+    } else {
+        allows.into_iter().zip(&used).filter(|(_, &u)| !u).map(|(a, _)| a).collect()
+    };
+    Ok(Report { findings, stale_suppressions, suppressed, files: sources.len() })
+}
+
+/// Every linted `.rs` file under `root` as `(repo-relative path, source)`
+/// pairs, in sorted order. Public so the real-tree fixture tests can
+/// build mutated workspaces (e.g. "what if this field lost its reads").
+pub fn workspace_sources(root: &Path) -> Result<Vec<(String, String)>, String> {
+    let files = collect_rs_files(root)?;
+    let mut sources = Vec::with_capacity(files.len());
+    for path in &files {
+        let rel = path.strip_prefix(root).unwrap_or(path).to_string_lossy().replace('\\', "/");
+        let src = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        sources.push((rel, src));
+    }
+    Ok(sources)
 }
 
 /// All `.rs` files under `root` that the lint pass owns: workspace source,

@@ -2,18 +2,29 @@
 //! `coaxial-lint` CLI. Usage:
 //!
 //! ```text
-//! coaxial-lint [--root <dir>] [--list] [--explain <ID>]
+//! coaxial-lint [--root <dir>] [--format text|json] [--changed-only]
+//!              [--list] [--explain <ID>]
 //! ```
 //!
 //! With no flags: lint the workspace, print findings as
 //! `path:line: [ID] message`, and exit 1 on any unsuppressed finding or
 //! stale suppression (so `scripts/check.sh` and CI can gate on it).
+//!
+//! `--format json` emits one machine-readable report object (consumed by
+//! the GitHub Actions problem matcher pipeline and editor integrations).
+//! `--changed-only` restricts *reported* findings to files changed per
+//! git (staged + unstaged + untracked vs. HEAD) for fast local iteration;
+//! the analysis itself still runs over the full tree so cross-file rules
+//! see the whole graph. CI always runs the full scan.
 
-use std::path::PathBuf;
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
+    let mut json = false;
+    let mut changed_only = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -21,6 +32,12 @@ fn main() -> ExitCode {
                 Some(dir) => root = Some(PathBuf::from(dir)),
                 None => return usage("--root needs a directory"),
             },
+            "--format" => match args.next().as_deref() {
+                Some("json") => json = true,
+                Some("text") => json = false,
+                _ => return usage("--format needs `text` or `json`"),
+            },
+            "--changed-only" => changed_only = true,
             "--list" => {
                 for l in coaxial_lint::CATALOG {
                     println!("{}  {}", l.id, l.summary);
@@ -51,7 +68,12 @@ fn main() -> ExitCode {
             .unwrap_or_else(|| PathBuf::from("."))
     });
 
-    let report = match coaxial_lint::lint_workspace(&root) {
+    let scope = if changed_only { changed_files(&root) } else { None };
+    if changed_only && scope.is_none() {
+        eprintln!("coaxial-lint: --changed-only could not read git state; running full scan");
+    }
+
+    let report = match coaxial_lint::lint_workspace_scoped(&root, scope.as_ref()) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("coaxial-lint: {e}");
@@ -59,18 +81,24 @@ fn main() -> ExitCode {
         }
     };
 
-    for f in &report.findings {
-        println!("{f}");
-    }
-    for s in &report.stale_suppressions {
-        println!(
-            "lint-allow.toml:{}: stale suppression ({} @ {}) matches no finding — remove it",
-            s.line, s.lint, s.path
-        );
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        for f in &report.findings {
+            println!("{f}");
+        }
+        for s in &report.stale_suppressions {
+            println!(
+                "lint-allow.toml:{}: stale suppression ({} @ {}) matches no finding — remove it",
+                s.line, s.lint, s.path
+            );
+        }
     }
     let status = if report.clean() { "clean" } else { "FAILED" };
+    let scope_note = if scope.is_some() { " (changed-only)" } else { "" };
     eprintln!(
-        "coaxial-lint: {} files, {} findings, {} suppressed, {} stale suppressions — {status}",
+        "coaxial-lint: {} files, {} findings, {} suppressed, {} stale suppressions — \
+         {status}{scope_note}",
         report.files,
         report.findings.len(),
         report.suppressed,
@@ -83,7 +111,33 @@ fn main() -> ExitCode {
     }
 }
 
+/// Repo-relative paths changed vs. HEAD (tracked modifications, staged or
+/// not) plus untracked files. `None` when git is unavailable or errors —
+/// the caller falls back to a full scan rather than silently passing.
+fn changed_files(root: &Path) -> Option<BTreeSet<String>> {
+    let mut out = BTreeSet::new();
+    for extra in
+        [&["diff", "--name-only", "HEAD"][..], &["ls-files", "--others", "--exclude-standard"][..]]
+    {
+        let output =
+            std::process::Command::new("git").arg("-C").arg(root).args(extra).output().ok()?;
+        if !output.status.success() {
+            return None;
+        }
+        for line in String::from_utf8_lossy(&output.stdout).lines() {
+            let line = line.trim();
+            if !line.is_empty() {
+                out.insert(line.to_string());
+            }
+        }
+    }
+    Some(out)
+}
+
 fn usage(err: &str) -> ExitCode {
-    eprintln!("coaxial-lint: {err}\nusage: coaxial-lint [--root <dir>] [--list] [--explain <ID>]");
+    eprintln!(
+        "coaxial-lint: {err}\nusage: coaxial-lint [--root <dir>] [--format text|json] \
+         [--changed-only] [--list] [--explain <ID>]"
+    );
     ExitCode::FAILURE
 }

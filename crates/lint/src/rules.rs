@@ -1,13 +1,18 @@
 //! The lint rules. See [`crate::CATALOG`] for the contract each encodes.
 //!
-//! Each rule is a pure function over a lexed file (plus, for C01, a small
-//! cross-file pass), so the fixture tests in `tests/fixtures.rs` can drive
-//! them directly on seeded good/bad sources without touching the
-//! workspace-walk driver.
+//! Per-file rules are pure functions over a lexed file ([`FileCtx`]);
+//! cross-file rules (C01/E01/E02/M01) run over the workspace symbol graph
+//! ([`Workspace`]). Both layers are driven directly by the fixture tests
+//! in `tests/fixtures.rs` on seeded good/bad sources, with rule *specs*
+//! (which structs, which files) passed as parameters so the fixtures can
+//! substitute tiny synthetic workspaces for the real tree.
 
-use crate::lexer::{lex, Tok, TokKind};
+use std::collections::BTreeSet;
+
+use crate::lexer::{Tok, TokKind};
+use crate::parser::{self, Item};
+use crate::symbols::{FnSym, MetricReg, Workspace};
 use crate::Finding;
-use std::path::Path;
 
 /// Crates whose `src/` trees hold simulated state and timing arithmetic.
 const MODEL_CRATES: &[&str] = &["cpu", "cache", "dram", "cxl", "system", "workloads"];
@@ -62,16 +67,24 @@ const TIMING_SEGMENTS: &[&str] = &[
     "cwl",
 ];
 
-/// A lexed file plus its path, shared by all per-file rules.
+/// A lexed + item-parsed file, shared by all per-file rules.
 pub struct FileCtx<'a> {
     pub rel: &'a str,
     pub src: &'a str,
+    /// Raw tokens including comments (U01 needs them).
     pub toks: Vec<Tok>,
+    /// Comment-stripped tokens — the index space of `items` body spans.
+    pub code: Vec<Tok>,
+    /// Parsed item tree (see [`crate::parser`]).
+    pub items: Vec<Item>,
 }
 
 impl<'a> FileCtx<'a> {
     pub fn new(rel: &'a str, src: &'a str) -> Self {
-        Self { rel, src, toks: lex(src) }
+        let toks = crate::lexer::lex(src);
+        let code: Vec<Tok> = toks.iter().filter(|t| t.kind != TokKind::Comment).cloned().collect();
+        let items = parser::parse_items(&code);
+        Self { rel, src, toks, code, items }
     }
 
     fn finding(&self, id: &'static str, line: u32, ident: &str, message: String) -> Finding {
@@ -79,7 +92,7 @@ impl<'a> FileCtx<'a> {
     }
 }
 
-fn in_model_src(rel: &str) -> bool {
+pub fn in_model_src(rel: &str) -> bool {
     MODEL_CRATES.iter().any(|c| rel.starts_with(&format!("crates/{c}/src/")))
 }
 
@@ -110,32 +123,41 @@ fn is_timing_ident(ident: &str) -> bool {
     ident.split('_').any(|seg| TIMING_SEGMENTS.contains(&seg.to_ascii_lowercase().as_str()))
 }
 
-/// Run every per-file rule that applies to `rel`.
-pub fn lint_file(rel: &str, src: &str) -> Vec<Finding> {
-    let ctx = FileCtx::new(rel, src);
+/// Run every per-file rule that applies to `ctx.rel`. The workspace graph
+/// supplies the cross-file facts the ported rules resolve through: fns
+/// returning hash collections (D01) and the real sink trait's method set
+/// (Z01).
+pub fn lint_file(ctx: &FileCtx, ws: &Workspace) -> Vec<Finding> {
     let mut out = Vec::new();
-    if in_determinism_scope(rel) {
-        out.extend(check_d01(&ctx));
+    if in_determinism_scope(ctx.rel) {
+        out.extend(check_d01(ctx, &ws.hash_returning_fns()));
     }
-    if in_model_src(rel) {
-        out.extend(check_d02(&ctx));
+    if in_model_src(ctx.rel) {
+        out.extend(check_d02(ctx));
     }
-    if in_timing_scope(rel) {
-        out.extend(check_t01(&ctx));
-        if !in_stats_layer(rel) {
-            out.extend(check_t02(&ctx));
+    if in_timing_scope(ctx.rel) {
+        out.extend(check_t01(ctx));
+        if !in_stats_layer(ctx.rel) {
+            out.extend(check_t02(ctx));
         }
     }
-    if in_model_src(rel) && src.contains("TelemetrySink") {
-        out.extend(check_z01(&ctx));
+    if in_model_src(ctx.rel) && ctx.src.contains("TelemetrySink") {
+        let sinks = ws
+            .trait_method_names("TelemetrySink")
+            .unwrap_or_else(|| SINK_METHODS.iter().map(|s| (*s).to_string()).collect());
+        out.extend(check_z01(ctx, &sinks));
     }
-    out.extend(check_u01(&ctx));
+    out.extend(check_u01(ctx));
     out
 }
 
-/// Code-token view: indices into `toks` with comments skipped.
-fn code(toks: &[Tok]) -> Vec<&Tok> {
-    toks.iter().filter(|t| t.kind != TokKind::Comment).collect()
+/// Run every cross-file rule with the real-tree specs.
+pub fn lint_cross_file(ws: &Workspace) -> Vec<Finding> {
+    let mut out = lint_cross_reference(ws);
+    out.extend(check_e01(ws, E01_STRUCTS));
+    out.extend(check_e02(ws, &E02_SPEC));
+    out.extend(check_m01(ws, &M01_SPEC));
+    out
 }
 
 // ---------------------------------------------------------------------------
@@ -143,9 +165,10 @@ fn code(toks: &[Tok]) -> Vec<&Tok> {
 // ---------------------------------------------------------------------------
 
 /// Names bound to `HashMap`/`HashSet` in this file: struct fields and
-/// `let` bindings, via either a type annotation or a `Hash*::new()`-style
-/// initializer.
-fn hash_bound_names(code: &[&Tok]) -> Vec<String> {
+/// `let` bindings, via a type annotation, a `Hash*::new()`-style
+/// initializer, or (through the symbol table) an initializer that calls a
+/// function whose return type is a hash collection.
+fn hash_bound_names(code: &[Tok], hash_fns: &BTreeSet<String>) -> Vec<String> {
     let mut names = Vec::new();
     for i in 0..code.len() {
         if !(code[i].is_ident("HashMap") || code[i].is_ident("HashSet")) {
@@ -185,20 +208,115 @@ fn hash_bound_names(code: &[&Tok]) -> Vec<String> {
             }
         }
     }
+    // `let [mut] name = … hash_returning_fn(…) …;` — a binding whose
+    // initializer goes through a function/method that returns a hash
+    // collection (the false negative the per-file heuristic used to have).
+    for i in 0..code.len() {
+        if !code[i].is_ident("let") {
+            continue;
+        }
+        let mut j = i + 1;
+        if code.get(j).is_some_and(|t| t.is_ident("mut")) {
+            j += 1;
+        }
+        let Some(name) = code.get(j).filter(|t| t.kind == TokKind::Ident) else { continue };
+        // Find the `=` of the binding (skipping a `: Type` annotation),
+        // then scan the initializer up to the statement's `;`.
+        let mut k = j + 1;
+        let mut depth = 0i32;
+        while k < code.len() && !(depth == 0 && (code[k].is_punct('=') || code[k].is_punct(';'))) {
+            bracket_depth(&code[k], &mut depth);
+            k += 1;
+        }
+        if !code.get(k).is_some_and(|t| t.is_punct('=')) {
+            continue;
+        }
+        let mut m = k + 1;
+        depth = 0;
+        let mut calls_hash_fn = false;
+        while m < code.len() && !(depth == 0 && code[m].is_punct(';')) {
+            if code[m].kind == TokKind::Ident
+                && code.get(m + 1).is_some_and(|n| n.is_punct('('))
+                && hash_fns.contains(&code[m].text)
+            {
+                calls_hash_fn = true;
+            }
+            bracket_depth(&code[m], &mut depth);
+            m += 1;
+        }
+        if calls_hash_fn {
+            names.push(name.text.clone());
+        }
+    }
     names.sort();
     names.dedup();
     names
 }
 
-pub fn check_d01(ctx: &FileCtx) -> Vec<Finding> {
-    let code = code(&ctx.toks);
-    let names = hash_bound_names(&code);
-    if names.is_empty() {
-        return Vec::new();
+fn bracket_depth(t: &Tok, depth: &mut i32) {
+    if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+        *depth += 1;
+    } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+        *depth -= 1;
     }
+}
+
+/// Index of the `(` opening the call whose `)` sits at `close`.
+fn open_paren_of(code: &[Tok], close: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    let mut j = close;
+    loop {
+        if code[j].is_punct(')') {
+            depth += 1;
+        } else if code[j].is_punct('(') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+        if j == 0 {
+            return None;
+        }
+        j -= 1;
+    }
+}
+
+pub fn check_d01(ctx: &FileCtx, hash_fns: &BTreeSet<String>) -> Vec<Finding> {
+    let code = &ctx.code;
+    let names = hash_bound_names(code, hash_fns);
     let mut out = Vec::new();
     for i in 0..code.len() {
-        let t = code[i];
+        let t = &code[i];
+        // Direct iteration of a hash-returning call's result:
+        // `build_map(…).iter()` never names a binding, so resolve the
+        // receiver through the symbol table.
+        if t.is_punct('.')
+            && ITER_METHODS.iter().any(|m| code.get(i + 1).is_some_and(|n| n.is_ident(m)))
+            && code.get(i + 2).is_some_and(|n| n.is_punct('('))
+            && i > 0
+            && code[i - 1].is_punct(')')
+        {
+            if let Some(open) = open_paren_of(code, i - 1) {
+                if open > 0
+                    && code[open - 1].kind == TokKind::Ident
+                    && hash_fns.contains(&code[open - 1].text)
+                {
+                    out.push(ctx.finding(
+                        "D01",
+                        code[open - 1].line,
+                        &code[open - 1].text,
+                        format!(
+                            "`{}(…).{}()` iterates the hash collection returned by `{}`; visit \
+                             order is randomized per process — use BTreeMap/BTreeSet or \
+                             collect-and-sort",
+                            code[open - 1].text,
+                            code[i + 1].text,
+                            code[open - 1].text
+                        ),
+                    ));
+                }
+            }
+        }
         if t.kind != TokKind::Ident || !names.contains(&t.text) {
             continue;
         }
@@ -246,10 +364,10 @@ pub fn check_d01(ctx: &FileCtx) -> Vec<Finding> {
 // ---------------------------------------------------------------------------
 
 pub fn check_d02(ctx: &FileCtx) -> Vec<Finding> {
-    let code = code(&ctx.toks);
+    let code = &ctx.code;
     let mut out = Vec::new();
     for i in 0..code.len() {
-        let t = code[i];
+        let t = &code[i];
         if t.kind != TokKind::Ident {
             continue;
         }
@@ -277,13 +395,13 @@ pub fn check_d02(ctx: &FileCtx) -> Vec<Finding> {
 
 /// Idents reachable walking left from position `i` (exclusive) through a
 /// postfix chain: `self.cfg.timings.t_faw`, `queue.head().deadline()`, …
-fn chain_idents<'t>(code: &[&'t Tok], i: usize) -> Vec<&'t str> {
+fn chain_idents(code: &[Tok], i: usize) -> Vec<&str> {
     let mut idents = Vec::new();
     let mut j = i;
     let mut parens = 0usize;
     let floor = i.saturating_sub(16);
     while j > floor {
-        let t = code[j - 1];
+        let t = &code[j - 1];
         match () {
             _ if t.is_punct(')') => parens += 1,
             _ if t.is_punct('(') => {
@@ -328,7 +446,7 @@ fn is_cycle_storage_ident(ident: &str) -> bool {
 }
 
 pub fn check_t02(ctx: &FileCtx) -> Vec<Finding> {
-    let code = code(&ctx.toks);
+    let code = &ctx.code;
     let mut out = Vec::new();
     // Accumulating casts: `acc += cycles as f64`. A one-shot conversion at
     // a reporting boundary (`sum as f64 / n as f64`) is legitimate; what
@@ -336,7 +454,7 @@ pub fn check_t02(ctx: &FileCtx) -> Vec<Finding> {
     // where the running sum loses exactness and order-independence.
     let mut stmt_start = 0usize;
     for i in 0..code.len() {
-        let t = code[i];
+        let t = &code[i];
         if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
             stmt_start = i + 1;
             continue;
@@ -352,7 +470,7 @@ pub fn check_t02(ctx: &FileCtx) -> Vec<Finding> {
         if !accumulating {
             continue;
         }
-        if let Some(src) = chain_idents(&code, i).iter().find(|id| is_timing_ident(id)) {
+        if let Some(src) = chain_idents(code, i).iter().find(|id| is_timing_ident(id)) {
             out.push(ctx.finding(
                 "T02",
                 t.line,
@@ -399,7 +517,7 @@ fn cast_rule(
     targets: &[&str],
     msg: impl Fn(&str, &str) -> String,
 ) -> Vec<Finding> {
-    let code = code(&ctx.toks);
+    let code = &ctx.code;
     let mut out = Vec::new();
     for i in 0..code.len() {
         if !code[i].is_ident("as") || i + 1 >= code.len() {
@@ -409,7 +527,7 @@ fn cast_rule(
         if !targets.iter().any(|t| dst.is_ident(t)) {
             continue;
         }
-        let chain = chain_idents(&code, i);
+        let chain = chain_idents(code, i);
         if let Some(src) = chain.iter().find(|id| is_timing_ident(id)) {
             out.push(ctx.finding(id, code[i].line, src, msg(src, &dst.text)));
         }
@@ -421,18 +539,19 @@ fn cast_rule(
 // Z01 — telemetry guard domination
 // ---------------------------------------------------------------------------
 
-/// Sink hook names (kept in sync with `coaxial_telemetry::TelemetrySink`).
+/// Fallback sink hook names, used only when the workspace does not define
+/// a `TelemetrySink` trait to read the real method set from (fixtures).
 const SINK_METHODS: &[&str] = &["on_miss", "on_span", "on_reset"];
 
-pub fn check_z01(ctx: &FileCtx) -> Vec<Finding> {
-    let code = code(&ctx.toks);
+pub fn check_z01(ctx: &FileCtx, sink_methods: &[String]) -> Vec<Finding> {
+    let code = &ctx.code;
     let mut out = Vec::new();
     // guard[d] = "some enclosing block at depth <= d is `if …::ENABLED`".
     let mut guard = vec![false];
     // Start-of-header marker: tokens since the last `{`, `}`, or `;`.
     let mut header_start = 0usize;
     for i in 0..code.len() {
-        let t = code[i];
+        let t = &code[i];
         if t.is_punct('{') {
             let header = &code[header_start..i];
             let is_guard = header.iter().any(|t| t.is_ident("if"))
@@ -449,7 +568,7 @@ pub fn check_z01(ctx: &FileCtx) -> Vec<Finding> {
             header_start = i + 1;
         }
         if t.kind == TokKind::Ident
-            && SINK_METHODS.contains(&t.text.as_str())
+            && sink_methods.iter().any(|m| m == &t.text)
             && i > 0
             && code[i - 1].is_punct('.')
             && code.get(i + 1).is_some_and(|n| n.is_punct('('))
@@ -519,44 +638,31 @@ pub fn check_u01(ctx: &FileCtx) -> Vec<Finding> {
 // C01 — declared-but-unenforced fidelity parameters (DDR5 timings, CXL link)
 // ---------------------------------------------------------------------------
 
-/// Field names (with lines) of `struct <name> { … }` in `src`.
+/// Field names (with lines) of `struct <name> { … }` in `src` — legacy
+/// token-level helper kept for the direct [`check_c01`] entry point.
 pub fn struct_fields(src: &str, name: &str) -> Vec<(String, u32)> {
-    let toks = lex(src);
-    let code = code(&toks);
-    let mut fields = Vec::new();
-    let mut i = 0;
-    while i < code.len() {
-        if code[i].is_ident("struct") && code.get(i + 1).is_some_and(|t| t.is_ident(name)) {
-            // Seek the opening brace, then collect `ident :` pairs at depth 1.
-            let mut j = i + 2;
-            while j < code.len() && !code[j].is_punct('{') {
-                j += 1;
-            }
-            let mut depth = 0i32;
-            while j < code.len() {
-                let t = code[j];
-                if t.is_punct('{') || t.is_punct('<') {
-                    depth += 1;
-                } else if t.is_punct('}') || t.is_punct('>') {
-                    depth -= 1;
-                    if depth == 0 {
-                        break;
-                    }
-                } else if depth == 1
-                    && t.kind == TokKind::Ident
-                    && code.get(j + 1).is_some_and(|n| n.is_punct(':'))
-                    && code.get(j + 2).is_none_or(|n| !n.is_punct(':'))
-                    && !code[j - 1].is_punct(':')
-                {
-                    fields.push((t.text.clone(), t.line));
+    let code = parser::code_toks(src);
+    let items = parser::parse_items(&code);
+    fn find(items: &[Item], name: &str) -> Vec<(String, u32)> {
+        for item in items {
+            match &item.kind {
+                parser::ItemKind::Struct { fields } if item.name == name => {
+                    return fields.iter().map(|f| (f.name.clone(), f.line)).collect();
                 }
-                j += 1;
+                parser::ItemKind::Impl { items: inner, .. }
+                | parser::ItemKind::Trait { items: inner }
+                | parser::ItemKind::Mod { items: inner, .. } => {
+                    let found = find(inner, name);
+                    if !found.is_empty() {
+                        return found;
+                    }
+                }
+                _ => {}
             }
-            break;
         }
-        i += 1;
+        Vec::new()
     }
-    fields
+    find(&items, name)
 }
 
 /// C01 core: every field of `struct_name` (declared in `config_src`) must
@@ -568,63 +674,389 @@ pub fn check_c01(
     enforce_srcs: &[(&str, &str)],
 ) -> Vec<Finding> {
     let fields = struct_fields(config_src, struct_name);
-    let mut used: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+    let mut used: BTreeSet<String> = BTreeSet::new();
     for (_, src) in enforce_srcs {
-        for t in lex(src) {
+        for t in parser::code_toks(src) {
             if t.kind == TokKind::Ident {
                 used.insert(t.text);
             }
         }
     }
     let files: Vec<&str> = enforce_srcs.iter().map(|(n, _)| *n).collect();
+    c01_findings(config_rel, struct_name, &fields, &used, &files.join(", "))
+}
+
+fn c01_findings(
+    config_rel: &str,
+    struct_name: &str,
+    fields: &[(String, u32)],
+    used: &BTreeSet<String>,
+    files_label: &str,
+) -> Vec<Finding> {
     fields
-        .into_iter()
+        .iter()
         .filter(|(f, _)| !used.contains(f))
         .map(|(f, line)| Finding {
             id: "C01",
             path: config_rel.to_string(),
-            line,
+            line: *line,
             ident: f.clone(),
             message: format!(
                 "fidelity parameter `{struct_name}.{f}` is declared but never read by the \
-                 enforcing code ({}) — a declared-but-unenforced parameter is a silent \
-                 fidelity bug",
-                files.join(", ")
+                 enforcing code ({files_label}) — a declared-but-unenforced parameter is a \
+                 silent fidelity bug"
             ),
         })
         .collect()
 }
 
-/// Workspace C01 invocations: each fidelity-critical config struct against
-/// the code that must enforce it — `DramTimings` vs. the DRAM scheduling
-/// files, `CxlLinkConfig` vs. the CXL link pipeline.
-pub fn lint_cross_reference(root: &Path) -> Result<Vec<Finding>, String> {
-    let read =
-        |rel: &str| std::fs::read_to_string(root.join(rel)).map_err(|e| format!("{rel}: {e}"));
+/// C01 pairs: each fidelity-critical config struct against the code that
+/// must enforce it, resolved through the workspace symbol graph.
+const C01_PAIRS: &[(&str, &str, &[&str])] = &[
+    (
+        "DramTimings",
+        "crates/dram/src/config.rs",
+        &["crates/dram/src/bank.rs", "crates/dram/src/subchannel.rs", "crates/dram/src/channel.rs"],
+    ),
+    (
+        "CxlLinkConfig",
+        "crates/cxl/src/config.rs",
+        &["crates/cxl/src/channel.rs", "crates/cxl/src/memory.rs"],
+    ),
+];
+
+/// Workspace C01: run every configured pair over the symbol graph.
+pub fn lint_cross_reference(ws: &Workspace) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (struct_name, config_rel, enforce) in C01_PAIRS {
+        let Some(def) = ws.struct_def(config_rel, struct_name) else { continue };
+        let mut used: BTreeSet<String> = BTreeSet::new();
+        for rel in *enforce {
+            if let Some(syms) = ws.files.get(*rel) {
+                used.extend(syms.idents.iter().cloned());
+            }
+        }
+        let fields: Vec<(String, u32)> =
+            def.fields.iter().map(|f| (f.name.clone(), f.line)).collect();
+        let label: Vec<&str> = enforce.iter().map(|r| r.rsplit('/').next().unwrap_or(r)).collect();
+        out.extend(c01_findings(config_rel, struct_name, &fields, &used, &label.join(", ")));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// E01 — every pub config field is read by model code
+// ---------------------------------------------------------------------------
+
+/// One fidelity-critical config struct and the file defining it.
+pub struct CoverageSpec<'a> {
+    pub struct_name: &'a str,
+    pub config_rel: &'a str,
+}
+
+/// The real tree's E01 struct set.
+pub const E01_STRUCTS: &[CoverageSpec<'static>] = &[
+    CoverageSpec { struct_name: "DramTimings", config_rel: "crates/dram/src/config.rs" },
+    CoverageSpec { struct_name: "DramConfig", config_rel: "crates/dram/src/config.rs" },
+    CoverageSpec { struct_name: "CxlLinkConfig", config_rel: "crates/cxl/src/config.rs" },
+    CoverageSpec { struct_name: "SystemConfig", config_rel: "crates/system/src/config.rs" },
+];
+
+/// E01: every `pub` field of each spec struct has at least one field-read
+/// site in non-test model code. Name-based (see `crate::symbols` docs).
+pub fn check_e01(ws: &Workspace, specs: &[CoverageSpec]) -> Vec<Finding> {
+    let mut reads: BTreeSet<&str> = BTreeSet::new();
+    for (rel, syms) in &ws.files {
+        if !in_model_src(rel) {
+            continue;
+        }
+        for f in syms.fns.iter().filter(|f| !f.in_test) {
+            reads.extend(f.field_reads.iter().map(String::as_str));
+        }
+    }
+    let mut out = Vec::new();
+    for spec in specs {
+        let Some(def) = ws.struct_def(spec.config_rel, spec.struct_name) else { continue };
+        for field in def.fields.iter().filter(|f| f.is_pub) {
+            if !reads.contains(field.name.as_str()) {
+                out.push(Finding {
+                    id: "E01",
+                    path: spec.config_rel.to_string(),
+                    line: field.line,
+                    ident: field.name.clone(),
+                    message: format!(
+                        "pub config field `{}.{}` is never read by model code — a fidelity \
+                         knob nothing reads silently claims a fidelity the simulator does \
+                         not deliver; wire it into the model or delete it",
+                        spec.struct_name, field.name
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// E02 — every pub config field is exercised by a sweep or env override
+// ---------------------------------------------------------------------------
+
+/// E02 rule spec: which structs must be swept, which files host the
+/// experiment/env entry points, and which config-layer files the
+/// reachability walk may traverse between them.
+pub struct SweepSpec<'a> {
+    pub structs: &'a [CoverageSpec<'a>],
+    /// Entry points: every non-test fn here is a sweep/override root.
+    pub exercise_files: &'a [&'a str],
+    /// Builder/ctor layer the walk may pass through (config files).
+    pub layer_files: &'a [&'a str],
+}
+
+/// The real tree's E02 spec (the structs the ISSUE/ROADMAP name).
+pub const E02_SPEC: SweepSpec<'static> = SweepSpec {
+    structs: &[
+        CoverageSpec { struct_name: "DramTimings", config_rel: "crates/dram/src/config.rs" },
+        CoverageSpec { struct_name: "CxlLinkConfig", config_rel: "crates/cxl/src/config.rs" },
+        CoverageSpec { struct_name: "SystemConfig", config_rel: "crates/system/src/config.rs" },
+    ],
+    exercise_files: &["crates/system/src/experiments.rs", "crates/sim/src/env.rs"],
+    layer_files: &[
+        "crates/system/src/config.rs",
+        "crates/dram/src/config.rs",
+        "crates/cxl/src/config.rs",
+    ],
+};
+
+/// E02: a field counts as *exercised* when some config-layer fn reachable
+/// from the experiment/env entry points writes it, and the write either
+/// derives from a fn parameter (a builder the sweep actually varies) or
+/// the field is written by two distinct reachable constructors (a
+/// variant-pair sweep like `x8_symmetric` vs. `x8_asymmetric`). A single
+/// default constructor writing every field does not count — that is
+/// exactly the "declared but never swept" case the rule exists to catch.
+pub fn check_e02(ws: &Workspace, spec: &SweepSpec) -> Vec<Finding> {
+    let traversable: BTreeSet<&str> =
+        spec.exercise_files.iter().chain(spec.layer_files).copied().collect();
+
+    // Name → fns defined in traversable files (tests excluded).
+    let mut by_name: std::collections::BTreeMap<&str, Vec<(&str, &FnSym)>> = Default::default();
+    for (rel, syms) in &ws.files {
+        if !traversable.contains(rel.as_str()) {
+            continue;
+        }
+        for f in syms.fns.iter().filter(|f| !f.in_test) {
+            by_name.entry(f.name.as_str()).or_default().push((rel.as_str(), f));
+        }
+    }
+
+    // BFS from the exercise-file entry points along call names.
+    let mut reachable: BTreeSet<(&str, u32)> = BTreeSet::new();
+    let mut queue: Vec<(&str, &FnSym)> = Vec::new();
+    for rel in spec.exercise_files {
+        if let Some(syms) = ws.files.get(*rel) {
+            for f in syms.fns.iter().filter(|f| !f.in_test) {
+                if reachable.insert((rel, f.line)) {
+                    queue.push((rel, f));
+                }
+            }
+        }
+    }
+    while let Some((_, f)) = queue.pop() {
+        for call in &f.calls {
+            for &(rel2, f2) in by_name.get(call.as_str()).into_iter().flatten() {
+                if reachable.insert((rel2, f2.line)) {
+                    queue.push((rel2, f2));
+                }
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    for cs in spec.structs {
+        let Some(def) = ws.struct_def(cs.config_rel, cs.struct_name) else { continue };
+        for field in def.fields.iter().filter(|f| f.is_pub) {
+            let mut writer_fns: BTreeSet<(&str, u32)> = BTreeSet::new();
+            let mut param_derived = false;
+            for &(rel, f) in by_name.values().flatten() {
+                if !reachable.contains(&(rel, f.line)) {
+                    continue;
+                }
+                for w in &f.writes {
+                    let type_ok = w.type_name.as_deref().is_none_or(|t| t == cs.struct_name);
+                    if w.field == field.name && type_ok && !w.zero_literal {
+                        writer_fns.insert((rel, f.line));
+                        param_derived |= w.param_derived;
+                    }
+                }
+            }
+            if !(param_derived || writer_fns.len() >= 2) {
+                out.push(Finding {
+                    id: "E02",
+                    path: cs.config_rel.to_string(),
+                    line: field.line,
+                    ident: field.name.clone(),
+                    message: format!(
+                        "pub config field `{}.{}` is never exercised by an experiment sweep \
+                         or env override ({}) — add a sweep that varies it (or a builder the \
+                         sweeps call), or drop the knob",
+                        cs.struct_name,
+                        field.name,
+                        spec.exercise_files.join(", ")
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// M01 — metric path hygiene + component stamp coverage
+// ---------------------------------------------------------------------------
+
+/// M01 rule spec: the latency-component enum, its defining file, and the
+/// record struct whose inits are the stamp sites.
+pub struct MetricSpec<'a> {
+    pub component_enum: &'a str,
+    pub enum_rel: &'a str,
+    pub record_struct: &'a str,
+}
+
+/// The real tree's M01 spec.
+pub const M01_SPEC: MetricSpec<'static> = MetricSpec {
+    component_enum: "Component",
+    enum_rel: "crates/telemetry/src/attribution.rs",
+    record_struct: "MissRecord",
+};
+
+/// Scope for metric-path checks: crate sources (not tests/, benches/).
+fn in_metric_scope(rel: &str) -> bool {
+    rel.contains("/src/") || rel.starts_with("src/")
+}
+
+/// Convert a CamelCase variant name to the snake_case field/label form
+/// (`IssueWait` → `issue_wait`).
+fn camel_to_snake(name: &str) -> String {
+    let mut out = String::new();
+    for (i, c) in name.chars().enumerate() {
+        if c.is_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.extend(c.to_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// One metric path segment: lowercase snake (with `*` where format holes
+/// collapsed).
+fn valid_segment(seg: &str) -> bool {
+    !seg.is_empty()
+        && seg.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_' || c == '*')
+}
+
+pub fn check_m01(ws: &Workspace, spec: &MetricSpec) -> Vec<Finding> {
     let mut out = Vec::new();
 
-    let dram_rel = "crates/dram/src/config.rs";
-    let dram_cfg = read(dram_rel)?;
-    let bank = read("crates/dram/src/bank.rs")?;
-    let sub = read("crates/dram/src/subchannel.rs")?;
-    let chan = read("crates/dram/src/channel.rs")?;
-    out.extend(check_c01(
-        dram_rel,
-        &dram_cfg,
-        "DramTimings",
-        &[("bank.rs", &bank), ("subchannel.rs", &sub), ("channel.rs", &chan)],
-    ));
+    // (1) Path shape + (2) constant-path collisions across files.
+    let mut constant_sites: std::collections::BTreeMap<&str, Vec<(&str, u32)>> = Default::default();
+    for (rel, syms) in &ws.files {
+        if !in_metric_scope(rel) {
+            continue;
+        }
+        for f in syms.fns.iter().filter(|f| !f.in_test) {
+            for reg in &f.metric_regs {
+                if !reg.pattern.split('.').all(valid_segment) {
+                    out.push(Finding {
+                        id: "M01",
+                        path: rel.clone(),
+                        line: reg.line,
+                        ident: reg.pattern.clone(),
+                        message: format!(
+                            "metric path `{}` is not lowercase-dot-case — registry dot-paths \
+                             must be machine-parseable ([a-z0-9_] segments joined by `.`)",
+                            reg.pattern
+                        ),
+                    });
+                }
+                if reg.constant {
+                    constant_sites.entry(reg.pattern.as_str()).or_default().push((rel, reg.line));
+                }
+            }
+        }
+    }
+    for (pattern, sites) in &constant_sites {
+        let files: BTreeSet<&str> = sites.iter().map(|(rel, _)| *rel).collect();
+        if files.len() > 1 {
+            let (first_rel, first_line) = sites[0];
+            for (rel, line) in &sites[1..] {
+                if *rel == first_rel {
+                    continue;
+                }
+                out.push(Finding {
+                    id: "M01",
+                    path: (*rel).to_string(),
+                    line: *line,
+                    ident: (*pattern).to_string(),
+                    message: format!(
+                        "metric path `{pattern}` is also registered at \
+                         {first_rel}:{first_line} — two subsystems writing one path silently \
+                         overwrite each other's values; prefix one of them"
+                    ),
+                });
+            }
+        }
+    }
 
-    let cxl_rel = "crates/cxl/src/config.rs";
-    let cxl_cfg = read(cxl_rel)?;
-    let cxl_chan = read("crates/cxl/src/channel.rs")?;
-    let cxl_mem = read("crates/cxl/src/memory.rs")?;
-    out.extend(check_c01(
-        cxl_rel,
-        &cxl_cfg,
-        "CxlLinkConfig",
-        &[("channel.rs", &cxl_chan), ("memory.rs", &cxl_mem)],
-    ));
+    // (3) Every component variant has a stamp site: a non-zero
+    // `RecordStruct { variant_snake: … }` init in non-test model code, or
+    // a derived accessor method of that name on the record struct.
+    let Some(en) = ws.enum_def(spec.enum_rel, spec.component_enum) else { return out };
+    let mut stamped: BTreeSet<String> = BTreeSet::new();
+    let mut derived: BTreeSet<String> = BTreeSet::new();
+    for (rel, syms) in &ws.files {
+        for f in &syms.fns {
+            if f.owner.as_deref() == Some(spec.record_struct) {
+                derived.insert(f.name.clone());
+            }
+            if f.in_test || !in_model_src(rel) {
+                continue;
+            }
+            for w in &f.writes {
+                if w.type_name.as_deref() == Some(spec.record_struct) && !w.zero_literal {
+                    stamped.insert(w.field.clone());
+                }
+            }
+        }
+    }
+    for v in &en.variants {
+        let snake = camel_to_snake(&v.name);
+        if !stamped.contains(&snake) && !derived.contains(&snake) {
+            out.push(Finding {
+                id: "M01",
+                path: spec.enum_rel.to_string(),
+                line: v.line,
+                ident: v.name.clone(),
+                message: format!(
+                    "latency component `{}::{}` has no stamp site: no non-zero \
+                     `{} {{ {snake}: … }}` init in model code and no `{}::{snake}()` \
+                     accessor — an unstamped component reports misleading zeros in every \
+                     breakdown",
+                    spec.component_enum, v.name, spec.record_struct, spec.record_struct
+                ),
+            });
+        }
+    }
+    out
+}
 
-    Ok(out)
+/// One metric registration, exposed for the fixture tests.
+pub fn metric_regs_of<'w>(ws: &'w Workspace, rel: &str) -> Vec<&'w MetricReg> {
+    ws.files
+        .get(rel)
+        .map(|s| s.fns.iter().flat_map(|f| f.metric_regs.iter()).collect())
+        .unwrap_or_default()
 }

@@ -1,0 +1,573 @@
+//! Workspace-wide symbol graph over the [`crate::parser`] item trees.
+//!
+//! For every file this records the definitions (structs + fields, enums +
+//! variants, trait method sets) and, per function, the *references* the
+//! cross-file rules need: call sites by name, field reads (`.f` in value
+//! position), field writes (`.f = …` and struct-literal initializers,
+//! with the initializing type when it is syntactically visible), and
+//! string-literal metric paths passed to the registry methods.
+//!
+//! Resolution is deliberately name-based, not type-checked: a `.seed`
+//! read anywhere counts as a read of every struct field named `seed`.
+//! That over-approximation can only *hide* violations on fields with
+//! common names (never invent false positives), which is the right
+//! failure direction for a gate — and the config structs the rules watch
+//! use distinctive `t_*`/`*_depth`-style names almost everywhere.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::{Tok, TokKind};
+use crate::parser::{self, Item, ItemKind};
+use crate::rules::FileCtx;
+
+/// Registry methods whose first string argument is a metric dot-path.
+pub const METRIC_METHODS: &[&str] =
+    &["set_counter", "add_counter", "set_gauge", "put_histogram", "export"];
+
+/// One field write: plain assignment, compound assignment, or
+/// struct-literal initializer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldWrite {
+    /// Initializing type for struct literals (`Cfg { f: … }`, with `Self`
+    /// resolved through the enclosing impl); `None` for dot-writes.
+    pub type_name: Option<String>,
+    pub field: String,
+    /// The written value mentions a parameter of the enclosing fn — the
+    /// signature of a builder/sweep actually varying the knob.
+    pub param_derived: bool,
+    /// The written value is the literal `0` (zero-stamps don't count as
+    /// exercising a telemetry component).
+    pub zero_literal: bool,
+    pub line: u32,
+}
+
+/// One metric-path registration site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricReg {
+    /// Normalized path pattern: format holes `{…}` collapse to `*`.
+    pub pattern: String,
+    /// No holes — the path is a compile-time constant.
+    pub constant: bool,
+    pub line: u32,
+}
+
+/// Everything the rules need to know about one function body.
+#[derive(Debug, Clone)]
+pub struct FnSym {
+    pub name: String,
+    /// `Self` type when defined inside an impl (or trait) block.
+    pub owner: Option<String>,
+    pub line: u32,
+    pub in_test: bool,
+    pub params: Vec<String>,
+    /// Return type mentions `HashMap`/`HashSet` (feeds lint D01).
+    pub returns_hash: bool,
+    /// Free-fn and method call targets, by final name segment.
+    pub calls: BTreeSet<String>,
+    /// Fields read (`.f` not in assignment-target position).
+    pub field_reads: BTreeSet<String>,
+    pub writes: Vec<FieldWrite>,
+    pub metric_regs: Vec<MetricReg>,
+}
+
+#[derive(Debug, Clone)]
+pub struct StructSym {
+    pub name: String,
+    pub line: u32,
+    pub fields: Vec<parser::FieldDef>,
+}
+
+#[derive(Debug, Clone)]
+pub struct EnumSym {
+    pub name: String,
+    pub line: u32,
+    pub variants: Vec<parser::VariantDef>,
+}
+
+/// Per-file slice of the symbol graph.
+#[derive(Debug, Clone, Default)]
+pub struct FileSyms {
+    pub structs: Vec<StructSym>,
+    pub enums: Vec<EnumSym>,
+    /// Trait name → method names (e.g. `TelemetrySink` → sink hooks).
+    pub trait_methods: BTreeMap<String, Vec<String>>,
+    pub fns: Vec<FnSym>,
+    /// Every identifier in the file (the C01 "is it read at all" set).
+    pub idents: BTreeSet<String>,
+}
+
+/// The whole workspace, keyed by repo-relative path (BTreeMap: the lint's
+/// own output must be deterministic).
+#[derive(Debug, Clone, Default)]
+pub struct Workspace {
+    pub files: BTreeMap<String, FileSyms>,
+}
+
+impl Workspace {
+    /// Build the graph from already-lexed file contexts.
+    pub fn from_ctxs(ctxs: &[FileCtx]) -> Self {
+        let mut files = BTreeMap::new();
+        for ctx in ctxs {
+            files.insert(ctx.rel.to_string(), FileSyms::build(ctx));
+        }
+        Self { files }
+    }
+
+    /// Build the graph from `(rel, src)` pairs (fixture tests).
+    pub fn from_sources(sources: &[(&str, &str)]) -> Self {
+        let ctxs: Vec<FileCtx> = sources.iter().map(|(rel, src)| FileCtx::new(rel, src)).collect();
+        Self::from_ctxs(&ctxs)
+    }
+
+    /// Names of fns (anywhere) whose return type is a hash collection.
+    pub fn hash_returning_fns(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        for syms in self.files.values() {
+            for f in &syms.fns {
+                if f.returns_hash {
+                    out.insert(f.name.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// Method names of the first trait definition called `name`.
+    pub fn trait_method_names(&self, name: &str) -> Option<Vec<String>> {
+        self.files.values().find_map(|s| s.trait_methods.get(name).cloned())
+    }
+
+    /// The struct `name` defined in file `rel`, if present.
+    pub fn struct_def(&self, rel: &str, name: &str) -> Option<&StructSym> {
+        self.files.get(rel)?.structs.iter().find(|s| s.name == name)
+    }
+
+    /// The enum `name` defined in file `rel`, if present.
+    pub fn enum_def(&self, rel: &str, name: &str) -> Option<&EnumSym> {
+        self.files.get(rel)?.enums.iter().find(|e| e.name == name)
+    }
+}
+
+impl FileSyms {
+    fn build(ctx: &FileCtx) -> Self {
+        let idents =
+            ctx.code.iter().filter(|t| t.kind == TokKind::Ident).map(|t| t.text.clone()).collect();
+        let mut out = Self { idents, ..Self::default() };
+        collect_items(&ctx.items, &ctx.code, None, false, &mut out);
+        out
+    }
+}
+
+fn collect_items(
+    items: &[Item],
+    code: &[Tok],
+    owner: Option<&str>,
+    in_test: bool,
+    out: &mut FileSyms,
+) {
+    for item in items {
+        match &item.kind {
+            ItemKind::Struct { fields } => out.structs.push(StructSym {
+                name: item.name.clone(),
+                line: item.line,
+                fields: fields.clone(),
+            }),
+            ItemKind::Enum { variants } => out.enums.push(EnumSym {
+                name: item.name.clone(),
+                line: item.line,
+                variants: variants.clone(),
+            }),
+            ItemKind::Fn(def) => out.fns.push(analyze_fn(item, def, code, owner, in_test)),
+            ItemKind::Impl { items: inner, .. } => {
+                collect_items(inner, code, Some(&item.name), in_test, out);
+            }
+            ItemKind::Trait { items: inner } => {
+                let methods: Vec<String> = inner
+                    .iter()
+                    .filter(|i| matches!(i.kind, ItemKind::Fn(_)))
+                    .map(|i| i.name.clone())
+                    .collect();
+                out.trait_methods.insert(item.name.clone(), methods);
+                collect_items(inner, code, Some(&item.name), in_test, out);
+            }
+            ItemKind::Mod { is_test, items: inner } => {
+                collect_items(inner, code, owner, in_test || *is_test, out);
+            }
+            ItemKind::Const | ItemKind::Use => {}
+        }
+    }
+}
+
+fn analyze_fn(
+    item: &Item,
+    def: &parser::FnDef,
+    code: &[Tok],
+    owner: Option<&str>,
+    in_test: bool,
+) -> FnSym {
+    let mut sym = FnSym {
+        name: item.name.clone(),
+        owner: owner.map(str::to_string),
+        line: item.line,
+        in_test,
+        params: def.params.clone(),
+        returns_hash: def.ret.contains("HashMap") || def.ret.contains("HashSet"),
+        calls: BTreeSet::new(),
+        field_reads: BTreeSet::new(),
+        writes: Vec::new(),
+        metric_regs: Vec::new(),
+    };
+    let Some((open, close)) = def.body else { return sym };
+    let params: BTreeSet<&str> = def.params.iter().map(String::as_str).collect();
+
+    let mut j = open + 1;
+    while j < close {
+        let t = &code[j];
+        // Call site: `name (` — keywords and macro bangs excluded.
+        if t.kind == TokKind::Ident
+            && code.get(j + 1).is_some_and(|n| n.is_punct('('))
+            && !parser::is_call_keyword(&t.text)
+        {
+            sym.calls.insert(t.text.clone());
+            if METRIC_METHODS.contains(&t.text.as_str()) {
+                if let Some(reg) = first_str_arg(code, j + 1, close) {
+                    sym.metric_regs.push(reg);
+                }
+            }
+        }
+        // Field access: `.name` (a following `(` makes it a method call,
+        // handled by the call branch when the walk reaches it).
+        if t.is_punct('.')
+            && code.get(j + 1).is_some_and(|n| n.kind == TokKind::Ident)
+            && code.get(j + 2).is_none_or(|n| !n.is_punct('('))
+            && !(j > 0 && code[j - 1].is_punct('.'))
+        {
+            let name = &code[j + 1];
+            // Tuple-index access `.0` lexes as Num, so `name` is a real
+            // field here. Classify write vs. read by the next token.
+            let after = j + 2;
+            let plain_assign = code.get(after).is_some_and(|n| n.is_punct('='))
+                && code.get(after + 1).is_none_or(|n| !n.is_punct('='));
+            let compound_assign = code.get(after).is_some_and(|n| {
+                matches!(n.text.as_str(), "+" | "-" | "*" | "/" | "%" | "&" | "|" | "^")
+                    && n.kind == TokKind::Punct
+            }) && code.get(after + 1).is_some_and(|n| n.is_punct('='))
+                // `a.f < b` / `a.f >> 2` are reads, not `<<=`-style
+                // compounds; require the `=` directly after one operator.
+                && code.get(after + 2).is_none_or(|n| !n.is_punct('='));
+            if plain_assign || compound_assign {
+                let rhs_start = if plain_assign { after + 1 } else { after + 2 };
+                let rhs = rhs_span(code, rhs_start, close);
+                sym.writes.push(FieldWrite {
+                    type_name: None,
+                    field: name.text.clone(),
+                    param_derived: mentions_any(&code[rhs_start..rhs], &params),
+                    zero_literal: is_zero_literal(&code[rhs_start..rhs]),
+                    line: name.line,
+                });
+                if compound_assign {
+                    sym.field_reads.insert(name.text.clone());
+                }
+            } else {
+                sym.field_reads.insert(name.text.clone());
+            }
+        }
+        // Struct literal: `TypeName {` / `Self {` in expression position.
+        if t.kind == TokKind::Ident
+            && code.get(j + 1).is_some_and(|n| n.is_punct('{'))
+            && is_type_like(&t.text)
+            && !(j > 0 && struct_literal_blockers(&code[j - 1]))
+        {
+            let ty =
+                if t.text == "Self" { owner.map(str::to_string) } else { Some(t.text.clone()) };
+            if let Some(ty) = ty {
+                let lit_close = matching(code, j + 1);
+                collect_literal_inits(code, j + 2, lit_close, &ty, &params, &mut sym.writes);
+            }
+        }
+        j += 1;
+    }
+    sym
+}
+
+/// `true` for idents that can head a struct literal (CamelCase or `Self`).
+fn is_type_like(name: &str) -> bool {
+    name == "Self" || name.chars().next().is_some_and(char::is_uppercase)
+}
+
+/// Keywords before `Ident {` that make it a block header, not a literal.
+fn struct_literal_blockers(prev: &Tok) -> bool {
+    prev.is_ident("impl")
+        || prev.is_ident("for")
+        || prev.is_ident("trait")
+        || prev.is_ident("mod")
+        || prev.is_ident("struct")
+        || prev.is_ident("enum")
+}
+
+/// Field initializers at depth 1 of a struct literal. Nested literals are
+/// collected when the outer walk reaches them, so only depth-1 fields are
+/// taken here. A `..base` functional update ends the initializer list.
+fn collect_literal_inits(
+    code: &[Tok],
+    start: usize,
+    end: usize,
+    ty: &str,
+    params: &BTreeSet<&str>,
+    writes: &mut Vec<FieldWrite>,
+) {
+    let mut j = start;
+    while j < end {
+        let t = &code[j];
+        if t.is_punct('.') && code.get(j + 1).is_some_and(|n| n.is_punct('.')) {
+            return; // ..rest
+        }
+        if t.is_punct('#') {
+            j += 1;
+            continue;
+        }
+        if t.kind == TokKind::Ident {
+            if code.get(j + 1).is_some_and(|n| n.is_punct(':'))
+                && code.get(j + 2).is_none_or(|n| !n.is_punct(':'))
+            {
+                let value_end = rhs_span_until_comma(code, j + 2, end);
+                writes.push(FieldWrite {
+                    type_name: Some(ty.to_string()),
+                    field: t.text.clone(),
+                    param_derived: mentions_any(&code[j + 2..value_end], params),
+                    zero_literal: is_zero_literal(&code[j + 2..value_end]),
+                    line: t.line,
+                });
+                j = value_end + 1;
+                continue;
+            }
+            if code.get(j + 1).is_none_or(|n| n.is_punct(',') || n.is_punct('}')) {
+                // Shorthand `field,` — initialized from the binding of the
+                // same name.
+                writes.push(FieldWrite {
+                    type_name: Some(ty.to_string()),
+                    field: t.text.clone(),
+                    param_derived: params.contains(t.text.as_str()),
+                    zero_literal: false,
+                    line: t.line,
+                });
+                j += 2;
+                continue;
+            }
+        }
+        j += 1;
+    }
+}
+
+/// End of an assignment RHS: the `;` at depth 0, or `end`.
+fn rhs_span(code: &[Tok], start: usize, end: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = start;
+    while j < end {
+        let t = &code[j];
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+            if depth == 0 {
+                return j;
+            }
+            depth -= 1;
+        } else if t.is_punct(';') && depth == 0 {
+            return j;
+        }
+        j += 1;
+    }
+    end
+}
+
+/// End of a struct-literal field value: the `,` at depth 0, or `end`.
+fn rhs_span_until_comma(code: &[Tok], start: usize, end: usize) -> usize {
+    let (mut par, mut ang, mut br) = (0i32, 0i32, 0i32);
+    let mut j = start;
+    while j < end {
+        let t = &code[j];
+        if t.is_punct(',') && par == 0 && ang <= 0 && br == 0 {
+            return j;
+        }
+        if t.is_punct('(') || t.is_punct('[') {
+            par += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            par -= 1;
+        } else if t.is_punct('<') {
+            ang += 1;
+        } else if t.is_punct('>') && !(j > 0 && code[j - 1].is_punct('-')) {
+            ang -= 1;
+        } else if t.is_punct('{') {
+            br += 1;
+        } else if t.is_punct('}') {
+            if br == 0 {
+                return j;
+            }
+            br -= 1;
+        }
+        j += 1;
+    }
+    end
+}
+
+fn mentions_any(toks: &[Tok], names: &BTreeSet<&str>) -> bool {
+    toks.iter().any(|t| t.kind == TokKind::Ident && names.contains(t.text.as_str()))
+}
+
+fn is_zero_literal(toks: &[Tok]) -> bool {
+    toks.len() == 1 && toks[0].kind == TokKind::Num && toks[0].text == "0"
+}
+
+fn matching(code: &[Tok], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut j = open;
+    while j < code.len() {
+        if code[j].is_punct('{') {
+            depth += 1;
+        } else if code[j].is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return j;
+            }
+        }
+        j += 1;
+    }
+    code.len().saturating_sub(1)
+}
+
+/// First string literal inside the argument list opening at `open`,
+/// normalized into a [`MetricReg`].
+fn first_str_arg(code: &[Tok], open: usize, limit: usize) -> Option<MetricReg> {
+    let mut depth = 0i32;
+    let mut j = open;
+    while j < limit {
+        let t = &code[j];
+        if t.is_punct('(') {
+            depth += 1;
+        } else if t.is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                return None;
+            }
+        } else if t.kind == TokKind::Str {
+            let raw = strip_quotes(&t.text);
+            let constant = !raw.contains('{');
+            return Some(MetricReg { pattern: normalize_pattern(&raw), constant, line: t.line });
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Drop the quote fence of a string-literal token (plain and raw forms).
+fn strip_quotes(text: &str) -> String {
+    let first = text.find('"').map_or(0, |i| i + 1);
+    let last = text.rfind('"').unwrap_or(text.len());
+    if first <= last {
+        text[first..last].to_string()
+    } else {
+        text.to_string()
+    }
+}
+
+/// Collapse `{…}` format holes to `*`: `"{prefix}.ch{ch}.hits"` →
+/// `"*.ch*.hits"`.
+fn normalize_pattern(raw: &str) -> String {
+    let mut out = String::new();
+    let mut in_hole = false;
+    for c in raw.chars() {
+        match c {
+            '{' if !in_hole => {
+                in_hole = true;
+                out.push('*');
+            }
+            '}' if in_hole => in_hole = false,
+            _ if in_hole => {}
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_file(src: &str) -> FileSyms {
+        let ws = Workspace::from_sources(&[("crates/x/src/lib.rs", src)]);
+        ws.files.values().next().unwrap().clone()
+    }
+
+    #[test]
+    fn builder_writes_are_param_derived() {
+        let syms = one_file(
+            "impl Cfg { pub fn with_seed(mut self, seed: u64) -> Self { self.seed = seed; self } }",
+        );
+        let f = &syms.fns[0];
+        assert_eq!(f.owner.as_deref(), Some("Cfg"));
+        assert_eq!(f.writes.len(), 1);
+        assert!(f.writes[0].param_derived);
+        assert_eq!(f.writes[0].field, "seed");
+        assert!(f.writes[0].type_name.is_none());
+    }
+
+    #[test]
+    fn struct_literal_inits_resolve_self_and_shorthand() {
+        let syms =
+            one_file("impl Cfg { fn base(name: u64) -> Self { Self { name, cores: 12, z: 0 } } }");
+        let w = &syms.fns[0].writes;
+        assert_eq!(w.len(), 3);
+        assert_eq!(w[0].type_name.as_deref(), Some("Cfg"));
+        assert!(w[0].param_derived, "shorthand from a param is param-derived");
+        assert!(!w[1].param_derived);
+        assert!(w[2].zero_literal);
+    }
+
+    #[test]
+    fn reads_writes_and_compound_assignments() {
+        let syms =
+            one_file("fn f(r: &mut R, x: u64) { r.total += x; let y = r.count; r.max = 9; }");
+        let f = &syms.fns[0];
+        assert!(f.field_reads.contains("total"), "compound assign reads too");
+        assert!(f.field_reads.contains("count"));
+        assert!(!f.field_reads.contains("max"));
+        let fields: Vec<&str> = f.writes.iter().map(|w| w.field.as_str()).collect();
+        assert_eq!(fields, ["total", "max"]);
+        assert!(f.writes[0].param_derived && !f.writes[1].param_derived);
+    }
+
+    #[test]
+    fn metric_paths_normalize_holes() {
+        let syms = one_file(
+            r#"fn e(reg: &mut M, p: &str) {
+                reg.set_counter("engine.skipped_cycles", 1);
+                reg.set_gauge(&format!("{p}.ch{ch}.tx_utilization"), v);
+            }"#,
+        );
+        let regs = &syms.fns[0].metric_regs;
+        assert_eq!(regs.len(), 2);
+        assert!(regs[0].constant && regs[0].pattern == "engine.skipped_cycles");
+        assert!(!regs[1].constant);
+        assert_eq!(regs[1].pattern, "*.ch*.tx_utilization");
+    }
+
+    #[test]
+    fn hash_returning_fns_and_trait_methods() {
+        let ws = Workspace::from_sources(&[(
+            "crates/x/src/lib.rs",
+            "pub trait TelemetrySink { fn on_miss(&mut self); fn on_reset(&mut self); }\n\
+             fn build() -> HashMap<u64, u64> { HashMap::new() }",
+        )]);
+        assert!(ws.hash_returning_fns().contains("build"));
+        let methods = ws.trait_method_names("TelemetrySink").unwrap();
+        assert_eq!(methods, ["on_miss", "on_reset"]);
+    }
+
+    #[test]
+    fn test_mods_mark_their_fns() {
+        let syms = one_file("mod tests { fn helper() { x.seed = 1; } } fn live() {}");
+        let helper = syms.fns.iter().find(|f| f.name == "helper").unwrap();
+        let live = syms.fns.iter().find(|f| f.name == "live").unwrap();
+        assert!(helper.in_test && !live.in_test);
+    }
+}

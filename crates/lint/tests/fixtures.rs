@@ -1,9 +1,15 @@
 //! Fixture self-tests: every lint ID must fire on its seeded `_bad.rs`
 //! fixture and stay silent on the `_good.rs` twin, so a regression in a
-//! rule (or the lexer under it) is caught by `cargo test` rather than by
-//! a violation silently sailing through the gate.
+//! rule (or the lexer/parser/symbol graph under it) is caught by
+//! `cargo test` rather than by a violation silently sailing through the
+//! gate. The cross-file rules additionally get real-tree mutation tests:
+//! inject a violation into the actual workspace sources and assert the
+//! rule catches exactly it.
 
-use coaxial_lint::rules::{self, FileCtx};
+use std::collections::BTreeSet;
+
+use coaxial_lint::rules::{self, CoverageSpec, FileCtx, MetricSpec, SweepSpec};
+use coaxial_lint::symbols::Workspace;
 use coaxial_lint::Finding;
 
 fn fixture(name: &str) -> String {
@@ -11,8 +17,12 @@ fn fixture(name: &str) -> String {
     std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"))
 }
 
+fn repo_root() -> String {
+    format!("{}/../..", env!("CARGO_MANIFEST_DIR"))
+}
+
 /// Run one rule on a fixture, pretending it lives on a model-crate path.
-fn run(rule: fn(&FileCtx) -> Vec<Finding>, name: &str) -> Vec<Finding> {
+fn run(rule: impl Fn(&FileCtx) -> Vec<Finding>, name: &str) -> Vec<Finding> {
     let src = fixture(name);
     let ctx = FileCtx::new("crates/cache/src/fixture.rs", &src);
     rule(&ctx)
@@ -27,9 +37,23 @@ fn assert_fires(id: &str, findings: &[Finding], at_least: usize) {
 
 #[test]
 fn d01_bad_fires_good_is_clean() {
-    // One HashMap `.iter()` and one `for … in &HashSet`.
-    assert_fires("D01", &run(rules::check_d01, "d01_bad.rs"), 2);
-    assert_eq!(run(rules::check_d01, "d01_good.rs"), vec![]);
+    // `counts.iter()`, `for … in &HashSet`, and two fn-return cases: a
+    // binding initialized from a hash-returning fn and a direct
+    // `build_index().keys()` chain.
+    let hash_fns = |src: &str| {
+        Workspace::from_sources(&[("crates/cache/src/fixture.rs", src)]).hash_returning_fns()
+    };
+    let bad = fixture("d01_bad.rs");
+    let ctx = FileCtx::new("crates/cache/src/fixture.rs", &bad);
+    let findings = rules::check_d01(&ctx, &hash_fns(&bad));
+    assert_fires("D01", &findings, 4);
+    let idents: BTreeSet<&str> = findings.iter().map(|f| f.ident.as_str()).collect();
+    assert!(idents.contains("idx"), "fn-return binding resolved: {findings:#?}");
+    assert!(idents.contains("build_index"), "direct call chain resolved: {findings:#?}");
+
+    let good = fixture("d01_good.rs");
+    let ctx = FileCtx::new("crates/cache/src/fixture.rs", &good);
+    assert_eq!(rules::check_d01(&ctx, &hash_fns(&good)), vec![]);
 }
 
 #[test]
@@ -59,10 +83,12 @@ fn t02_bad_fires_good_is_clean() {
 
 #[test]
 fn z01_bad_fires_good_is_clean() {
-    let bad = run(rules::check_z01, "z01_bad.rs");
+    let sinks: Vec<String> =
+        ["on_miss", "on_span", "on_reset"].iter().map(|s| (*s).to_string()).collect();
+    let bad = run(|ctx| rules::check_z01(ctx, &sinks), "z01_bad.rs");
     assert_fires("Z01", &bad, 1);
     assert!(bad[0].ident == "on_miss", "the unguarded call is the on_miss: {bad:#?}");
-    assert_eq!(run(rules::check_z01, "z01_good.rs"), vec![]);
+    assert_eq!(run(|ctx| rules::check_z01(ctx, &sinks), "z01_good.rs"), vec![]);
 }
 
 #[test]
@@ -106,7 +132,7 @@ fn c01_fully_enforced_config_is_clean() {
 /// equivalent to the constraint code no longer reading it.
 #[test]
 fn c01_catches_orphaned_dram_timing_in_real_tree() {
-    let root = format!("{}/../..", env!("CARGO_MANIFEST_DIR"));
+    let root = repo_root();
     let read = |rel: &str| std::fs::read_to_string(format!("{root}/{rel}")).unwrap();
     let config = read("crates/dram/src/config.rs");
     let bank = read("crates/dram/src/bank.rs");
@@ -139,7 +165,7 @@ fn c01_catches_orphaned_dram_timing_in_real_tree() {
 /// (same rename trick as the DRAM test above) must be caught.
 #[test]
 fn c01_catches_orphaned_cxl_link_parameter_in_real_tree() {
-    let root = format!("{}/../..", env!("CARGO_MANIFEST_DIR"));
+    let root = repo_root();
     let read = |rel: &str| std::fs::read_to_string(format!("{root}/{rel}")).unwrap();
     let config = read("crates/cxl/src/config.rs");
     let chan = read("crates/cxl/src/channel.rs").replace("port_latency", "port_latency_unread");
@@ -168,6 +194,200 @@ fn c01_catches_orphaned_cxl_link_parameter_in_real_tree() {
     assert_eq!(idents, vec!["name"], "every transfer-cost field is read: {clean:#?}");
 }
 
+// ---------------------------------------------------------------------------
+// E01 / E02 / M01 fixture workspaces
+// ---------------------------------------------------------------------------
+
+const E_SPEC: [CoverageSpec<'static>; 1] =
+    [CoverageSpec { struct_name: "FixtureCfg", config_rel: "crates/dram/src/config.rs" }];
+
+#[test]
+fn e01_unread_knob_is_caught_full_coverage_is_clean() {
+    let config = fixture("e01/config.rs");
+    let bad = fixture("e01/model_bad.rs");
+    let ws = Workspace::from_sources(&[
+        ("crates/dram/src/config.rs", &config),
+        ("crates/dram/src/model.rs", &bad),
+    ]);
+    let findings = rules::check_e01(&ws, &E_SPEC);
+    assert_eq!(findings.len(), 1, "{findings:#?}");
+    assert_eq!((findings[0].id, findings[0].ident.as_str()), ("E01", "unread_knob"));
+
+    let good = fixture("e01/model_good.rs");
+    let ws = Workspace::from_sources(&[
+        ("crates/dram/src/config.rs", &config),
+        ("crates/dram/src/model.rs", &good),
+    ]);
+    assert_eq!(rules::check_e01(&ws, &E_SPEC), vec![]);
+}
+
+#[test]
+fn e02_unswept_knobs_are_caught_swept_tree_is_clean() {
+    let spec = SweepSpec {
+        structs: &[CoverageSpec {
+            struct_name: "SweepCfg",
+            config_rel: "crates/system/src/config.rs",
+        }],
+        exercise_files: &["crates/system/src/experiments.rs"],
+        layer_files: &["crates/system/src/config.rs"],
+    };
+    let config = fixture("e02/config.rs");
+    let bad = fixture("e02/experiments_bad.rs");
+    let ws = Workspace::from_sources(&[
+        ("crates/system/src/config.rs", &config),
+        ("crates/system/src/experiments.rs", &bad),
+    ]);
+    let findings = rules::check_e02(&ws, &spec);
+    let idents: Vec<&str> = findings.iter().map(|f| f.ident.as_str()).collect();
+    // knob_a is swept through its builder; knob_b has only the default
+    // ctor as a reachable writer; knob_c's builder is never called.
+    assert_eq!(idents, vec!["knob_b", "knob_c"], "{findings:#?}");
+    assert!(findings.iter().all(|f| f.id == "E02"));
+
+    let good = fixture("e02/experiments_good.rs");
+    let ws = Workspace::from_sources(&[
+        ("crates/system/src/config.rs", &config),
+        ("crates/system/src/experiments.rs", &good),
+    ]);
+    assert_eq!(rules::check_e02(&ws, &spec), vec![]);
+}
+
+#[test]
+fn m01_bad_paths_and_unstamped_variant_are_caught_good_is_clean() {
+    let spec = MetricSpec {
+        component_enum: "Component",
+        enum_rel: "crates/telemetry/src/attribution.rs",
+        record_struct: "Rec",
+    };
+    let telemetry = fixture("m01/telemetry.rs");
+    let model_bad = fixture("m01/model_bad.rs");
+    let export_bad = fixture("m01/export_bad.rs");
+    let ws = Workspace::from_sources(&[
+        ("crates/telemetry/src/attribution.rs", &telemetry),
+        ("crates/cache/src/model.rs", &model_bad),
+        ("crates/cxl/src/export.rs", &export_bad),
+    ]);
+    let findings = rules::check_m01(&ws, &spec);
+    assert!(findings.iter().all(|f| f.id == "M01"));
+    let idents: BTreeSet<&str> = findings.iter().map(|f| f.ident.as_str()).collect();
+    assert!(idents.contains("Bad.Path"), "mixed-case path flagged: {findings:#?}");
+    assert!(idents.contains("dup.path"), "cross-file duplicate flagged: {findings:#?}");
+    assert!(idents.contains("BetaGap"), "zero-stamped variant flagged: {findings:#?}");
+    assert_eq!(findings.len(), 3, "{findings:#?}");
+
+    let model_good = fixture("m01/model_good.rs");
+    let ws = Workspace::from_sources(&[
+        ("crates/telemetry/src/attribution.rs", &telemetry),
+        ("crates/cache/src/model.rs", &model_good),
+    ]);
+    assert_eq!(rules::check_m01(&ws, &spec), vec![]);
+}
+
+// ---------------------------------------------------------------------------
+// E01 / E02 / M01 against the real tree (mutation + clean)
+// ---------------------------------------------------------------------------
+
+/// A (relative path, source rewriter) pair for mutation tests.
+type Mutation<'a> = (&'a str, &'a dyn Fn(&str) -> String);
+
+/// Load every workspace source, optionally rewriting one file's text.
+fn real_workspace(mutate: Option<Mutation>) -> Workspace {
+    let root = repo_root();
+    let mut sources =
+        coaxial_lint::workspace_sources(std::path::Path::new(&root)).expect("readable tree");
+    if let Some((rel, f)) = mutate {
+        let entry = sources
+            .iter_mut()
+            .find(|(r, _)| r == rel)
+            .unwrap_or_else(|| panic!("{rel} not in workspace"));
+        entry.1 = f(&entry.1);
+    }
+    let pairs: Vec<(&str, &str)> = sources.iter().map(|(r, s)| (r.as_str(), s.as_str())).collect();
+    Workspace::from_sources(&pairs)
+}
+
+/// Injecting a phantom pub field into DramTimings must be flagged by both
+/// E01 (never read) and E02 (never swept); the untouched tree is clean.
+#[test]
+fn e01_e02_catch_phantom_config_field_in_real_tree() {
+    let add_field = |src: &str| {
+        src.replace("pub t_faw: Cycle,", "pub t_faw: Cycle,\n    pub t_phantom: Cycle,")
+    };
+    let ws = real_workspace(Some(("crates/dram/src/config.rs", &add_field)));
+    let e01: Vec<String> =
+        rules::check_e01(&ws, rules::E01_STRUCTS).into_iter().map(|f| f.ident).collect();
+    assert!(e01.contains(&"t_phantom".to_string()), "E01 misses the phantom field: {e01:?}");
+    let e02: Vec<String> =
+        rules::check_e02(&ws, &rules::E02_SPEC).into_iter().map(|f| f.ident).collect();
+    assert!(e02.contains(&"t_phantom".to_string()), "E02 misses the phantom field: {e02:?}");
+
+    let ws = real_workspace(None);
+    assert_eq!(rules::check_e01(&ws, rules::E01_STRUCTS), vec![], "real tree E01-clean");
+    assert_eq!(rules::check_e02(&ws, &rules::E02_SPEC), vec![], "real tree E02-clean");
+}
+
+/// Injecting a phantom latency-component variant must be flagged by M01
+/// as having no stamp site; the untouched tree is clean.
+#[test]
+fn m01_catches_unstamped_component_in_real_tree() {
+    let add_variant = |src: &str| src.replace("    Noc,", "    Noc,\n    PhantomStage,");
+    let ws = real_workspace(Some(("crates/telemetry/src/attribution.rs", &add_variant)));
+    let idents: Vec<String> =
+        rules::check_m01(&ws, &rules::M01_SPEC).into_iter().map(|f| f.ident).collect();
+    assert!(
+        idents.contains(&"PhantomStage".to_string()),
+        "M01 misses the unstamped variant: {idents:?}"
+    );
+
+    let ws = real_workspace(None);
+    assert_eq!(rules::check_m01(&ws, &rules::M01_SPEC), vec![], "real tree M01-clean");
+}
+
+/// The full gate on the real tree: no findings, and — mirroring the C01
+/// orphan-suppression contract — zero stale suppressions, so no
+/// lint-allow.toml entry for the new E/M rules can outlive its reason.
+#[test]
+fn real_tree_full_scan_is_clean_with_no_orphan_suppressions() {
+    let root = repo_root();
+    let report = coaxial_lint::lint_workspace(std::path::Path::new(&root)).unwrap();
+    assert!(
+        report.findings.is_empty(),
+        "unsuppressed findings on the real tree: {:#?}",
+        report.findings
+    );
+    assert!(
+        report.stale_suppressions.is_empty(),
+        "stale (orphaned) suppressions: {:#?}",
+        report
+            .stale_suppressions
+            .iter()
+            .map(|s| format!("{} @ {} (line {})", s.lint, s.path, s.line))
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn json_report_shape_is_stable() {
+    let report = coaxial_lint::Report {
+        findings: vec![coaxial_lint::Finding {
+            id: "E01",
+            path: "crates/x/src/lib.rs".to_string(),
+            line: 7,
+            ident: "knob".to_string(),
+            message: "a \"quoted\" message".to_string(),
+        }],
+        stale_suppressions: vec![],
+        suppressed: 2,
+        files: 9,
+    };
+    assert_eq!(
+        report.to_json(),
+        "{\"findings\":[{\"id\":\"E01\",\"path\":\"crates/x/src/lib.rs\",\"line\":7,\
+         \"ident\":\"knob\",\"message\":\"a \\\"quoted\\\" message\"}],\
+         \"stale_suppressions\":[],\"suppressed\":2,\"files\":9,\"clean\":false}"
+    );
+}
+
 #[test]
 fn malformed_allow_entry_missing_reason_is_rejected() {
     let bad = r#"
@@ -181,7 +401,7 @@ path = "crates/sim/src/lru.rs"
 
 #[test]
 fn workspace_lint_allow_file_parses_and_every_entry_has_a_reason() {
-    let root = format!("{}/../..", env!("CARGO_MANIFEST_DIR"));
+    let root = repo_root();
     let text = std::fs::read_to_string(format!("{root}/lint-allow.toml")).unwrap();
     let entries = coaxial_lint::allow::parse(&text).expect("checked-in lint-allow.toml is valid");
     for e in &entries {

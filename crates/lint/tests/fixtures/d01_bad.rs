@@ -1,8 +1,13 @@
-//! D01 bad: iterates a HashMap on a model path.
+//! D01 bad: iterates a HashMap on a model path — including collections
+//! that arrive through a function return rather than a local annotation.
 use std::collections::{HashMap, HashSet};
 
 struct Tracker {
     counts: HashMap<u64, u64>,
+}
+
+fn build_index() -> HashMap<u64, u64> {
+    HashMap::new()
 }
 
 fn export(t: &Tracker) -> Vec<(u64, u64)> {
@@ -15,4 +20,14 @@ fn export(t: &Tracker) -> Vec<(u64, u64)> {
         rows.push((*line, 0));
     }
     rows
+}
+
+fn from_fn_return() -> Vec<u64> {
+    let idx = build_index();
+    let mut out = Vec::new();
+    for k in idx.keys() {
+        out.push(*k);
+    }
+    out.extend(build_index().keys().copied());
+    out
 }

@@ -1,0 +1,7 @@
+//! E01 fixture config: three pub fidelity knobs; whether each is read is
+//! decided by the model fixture paired with this file in the test.
+pub struct FixtureCfg {
+    pub t_alpha: u64,
+    pub t_beta: u64,
+    pub unread_knob: u64,
+}

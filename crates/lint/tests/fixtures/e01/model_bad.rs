@@ -1,0 +1,4 @@
+//! E01 bad model: reads t_alpha and t_beta but never unread_knob.
+pub fn latency(c: &FixtureCfg) -> u64 {
+    c.t_alpha + c.t_beta
+}

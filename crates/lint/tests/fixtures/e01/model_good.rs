@@ -1,0 +1,4 @@
+//! E01 good model: every pub knob of FixtureCfg has a read site.
+pub fn latency(c: &FixtureCfg) -> u64 {
+    c.t_alpha + c.t_beta + c.unread_knob
+}

@@ -1,0 +1,32 @@
+//! E02 fixture config layer: a default ctor, per-knob builders, and a
+//! variant pair. Which knobs count as "exercised" depends on which of
+//! these the experiment fixture actually calls.
+pub struct SweepCfg {
+    pub knob_a: u64,
+    pub knob_b: u64,
+    pub knob_c: u64,
+}
+
+impl SweepCfg {
+    pub fn base() -> Self {
+        Self { knob_a: 1, knob_b: 2, knob_c: 3 }
+    }
+
+    pub fn with_knob_a(mut self, v: u64) -> Self {
+        self.knob_a = v;
+        self
+    }
+
+    pub fn with_knob_c(mut self, v: u64) -> Self {
+        self.knob_c = v;
+        self
+    }
+
+    pub fn variant_x() -> Self {
+        Self { knob_b: 8, ..Self::base() }
+    }
+
+    pub fn variant_y() -> Self {
+        Self { knob_b: 16, ..Self::base() }
+    }
+}

@@ -1,0 +1,6 @@
+//! E02 bad experiments: only knob_a is swept. knob_b is written solely by
+//! the default ctor (one reachable writer, not param-derived) and knob_c's
+//! builder is never called, so both must be flagged.
+pub fn sweep_alpha() -> Vec<SweepCfg> {
+    vec![SweepCfg::base().with_knob_a(4), SweepCfg::base().with_knob_a(8)]
+}

@@ -1,0 +1,10 @@
+//! E02 good experiments: knob_a via a param-derived builder, knob_b via a
+//! variant-pair comparison (two distinct reachable ctors write it), and
+//! knob_c via an env-style override through its builder.
+pub fn sweep_alpha() -> Vec<SweepCfg> {
+    vec![SweepCfg::base().with_knob_a(4), SweepCfg::variant_x(), SweepCfg::variant_y()]
+}
+
+pub fn env_override(raw: u64) -> SweepCfg {
+    SweepCfg::base().with_knob_c(raw)
+}

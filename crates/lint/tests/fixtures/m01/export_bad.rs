@@ -1,0 +1,4 @@
+//! M01 bad exporter: registers the same constant path as model_bad.rs.
+pub fn export(reg: &mut Reg) {
+    reg.set_counter("dup.path", 2);
+}

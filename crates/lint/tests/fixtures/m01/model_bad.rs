@@ -1,0 +1,8 @@
+//! M01 bad model: a mixed-case metric path, a constant path also
+//! registered by export_bad.rs, and a zero-literal beta_gap stamp (zero
+//! stamps don't count, so Component::BetaGap has no stamp site).
+pub fn stamp(x: u64, reg: &mut Reg) {
+    let r = Rec { alpha: x, beta_gap: 0 };
+    reg.set_counter("Bad.Path", r.alpha);
+    reg.set_counter("dup.path", 1);
+}

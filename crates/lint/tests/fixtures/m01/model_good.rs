@@ -1,0 +1,10 @@
+//! M01 good model: lowercase constant and holey paths, no collisions,
+//! and both Component variants get non-zero Rec stamps.
+pub fn stamp(x: u64, reg: &mut Reg) {
+    let r = Rec { alpha: x, beta_gap: x + 1 };
+    reg.set_counter("model.alpha_total", r.alpha);
+}
+
+pub fn export(reg: &mut Reg, ch: usize) {
+    reg.set_gauge(&format!("model.ch{ch}.beta"), 1.0);
+}

@@ -1,0 +1,10 @@
+//! M01 fixture component enum + record struct (shared by bad and good).
+pub enum Component {
+    Alpha,
+    BetaGap,
+}
+
+pub struct Rec {
+    pub alpha: u64,
+    pub beta_gap: u64,
+}

@@ -131,6 +131,17 @@ impl SystemConfig {
         self
     }
 
+    /// Resize the simulated slice to `n` cores, all active (scaling
+    /// studies beyond the paper's fixed 12-core slice; the mesh and LLC
+    /// banking rebuild around the new count). Use [`Self::with_active_cores`]
+    /// to idle cores without shrinking the slice.
+    pub fn with_cores(mut self, n: usize) -> Self {
+        assert!(n >= 1, "a server needs at least one core");
+        self.cores = n;
+        self.active_cores = n;
+        self
+    }
+
     /// Run the workload on only the first `n` cores (Fig. 11).
     pub fn with_active_cores(mut self, n: usize) -> Self {
         assert!(n >= 1 && n <= self.cores);

@@ -11,7 +11,7 @@
 //! across host cores (`COAXIAL_JOBS`). Reports come back keyed by spec
 //! index, which keeps every row assembly below deterministic.
 
-use coaxial_cache::CalmPolicy;
+use coaxial_cache::{CalmPolicy, PrefetchPolicy};
 use coaxial_dram::{Channel, DramConfig, MemoryBackend};
 use coaxial_sim::Cycle;
 use coaxial_telemetry::TelemetryRecorder;
@@ -569,6 +569,190 @@ pub fn table5_inputs(rows: &[CompareRow]) -> Table5Inputs {
     Table5Inputs { baseline_cpi: base, coaxial_cpi: coax }
 }
 
+// ─────────────── Knob-coverage / sensitivity sweeps ───────────────
+//
+// These sweeps exist so that *every* public fidelity knob in the config
+// structs is exercised end to end by at least one experiment — the
+// contract coaxial-lint's E02 rule enforces statically (a knob the model
+// reads but no experiment varies is untested fidelity: nothing would
+// notice if its wiring broke). They double as data sources for the
+// `ablations` bench target.
+
+fn named_workloads(names: &[&str]) -> Vec<&'static Workload> {
+    names.iter().map(|n| Workload::by_name(n).expect("workload exists")).collect()
+}
+
+/// One DRAM speed-grade sensitivity row: every [`coaxial_dram::DramTimings`]
+/// parameter scaled together by `factor`.
+#[derive(Debug, Clone, Serialize)]
+pub struct TimingScaleRow {
+    pub factor: f64,
+    pub base_geomean_ipc: f64,
+    pub coax_geomean_ipc: f64,
+}
+
+/// Scale every DDR5 timing parameter by each factor and re-run both
+/// systems — the "are the datasheet timings actually load-bearing?"
+/// sensitivity check that silicon-validated CXL simulators run against
+/// hardware.
+pub fn dram_timing_scale(
+    factors: &[f64],
+    workload_names: &[&str],
+    budget: Budget,
+) -> Vec<TimingScaleRow> {
+    let ws = named_workloads(workload_names);
+    let specs: Vec<RunSpec> = factors
+        .iter()
+        .flat_map(|&f| {
+            let dram = DramConfig::ddr5_4800().with_timing_scale(f);
+            ws.iter().copied().flat_map(move |w| {
+                [
+                    budget.spec(SystemConfig::ddr_baseline().with_dram(dram.clone()), w),
+                    budget.spec(SystemConfig::coaxial_4x().with_dram(dram.clone()), w),
+                ]
+            })
+        })
+        .collect();
+    let reports = runner::run_all(&specs);
+    factors
+        .iter()
+        .zip(reports.chunks_exact(2 * ws.len()))
+        .map(|(&factor, rs)| TimingScaleRow {
+            factor,
+            base_geomean_ipc: geomean(rs.chunks_exact(2).map(|p| p[0].ipc)),
+            coax_geomean_ipc: geomean(rs.chunks_exact(2).map(|p| p[1].ipc)),
+        })
+        .collect()
+}
+
+/// One slice-size scaling row (beyond the paper's fixed 12-core slice).
+#[derive(Debug, Clone, Serialize)]
+pub struct CoreScalingRow {
+    pub cores: usize,
+    pub base_geomean_ipc: f64,
+    pub coax_geomean_ipc: f64,
+    /// Geomean per-workload COAXIAL speedup at this slice size.
+    pub speedup: f64,
+}
+
+/// Resize the simulated slice (mesh, LLC banking, and workload sharding
+/// all rebuild around the count) and compare both systems at each size.
+pub fn core_scaling(
+    cores: &[usize],
+    workload_names: &[&str],
+    budget: Budget,
+) -> Vec<CoreScalingRow> {
+    let ws = named_workloads(workload_names);
+    let specs: Vec<RunSpec> = cores
+        .iter()
+        .flat_map(|&n| {
+            ws.iter().copied().flat_map(move |w| {
+                [
+                    budget.spec(SystemConfig::ddr_baseline().with_cores(n), w),
+                    budget.spec(SystemConfig::coaxial_4x().with_cores(n), w),
+                ]
+            })
+        })
+        .collect();
+    let reports = runner::run_all(&specs);
+    cores
+        .iter()
+        .zip(reports.chunks_exact(2 * ws.len()))
+        .map(|(&n, rs)| CoreScalingRow {
+            cores: n,
+            base_geomean_ipc: geomean(rs.chunks_exact(2).map(|p| p[0].ipc)),
+            coax_geomean_ipc: geomean(rs.chunks_exact(2).map(|p| p[1].ipc)),
+            speedup: geomean(rs.chunks_exact(2).map(|p| p[1].speedup_over(&p[0]))),
+        })
+        .collect()
+}
+
+/// One prefetch-policy row, normalized to the no-prefetch run of the same
+/// system (the bandwidth-funds-latency-tolerance asymmetry check).
+#[derive(Debug, Clone, Serialize)]
+pub struct PrefetchRow {
+    pub policy: String,
+    pub workload: String,
+    /// Baseline-system IPC relative to baseline without prefetching.
+    pub base_rel_ipc: f64,
+    /// COAXIAL-4x IPC relative to COAXIAL-4x without prefetching.
+    pub coax_rel_ipc: f64,
+}
+
+/// Run each prefetch policy on both systems across the workload set; rows
+/// are IPC relative to the matching no-prefetch configuration.
+pub fn prefetch_sweep(
+    policies: &[PrefetchPolicy],
+    workload_names: &[&str],
+    budget: Budget,
+) -> Vec<PrefetchRow> {
+    let ws = named_workloads(workload_names);
+    let specs: Vec<RunSpec> = ws
+        .iter()
+        .copied()
+        .flat_map(|w| {
+            let mut group = vec![
+                budget.spec(SystemConfig::ddr_baseline(), w),
+                budget.spec(SystemConfig::coaxial_4x(), w),
+            ];
+            for &p in policies {
+                group.push(budget.spec(SystemConfig::ddr_baseline().with_prefetch(p), w));
+                group.push(budget.spec(SystemConfig::coaxial_4x().with_prefetch(p), w));
+            }
+            group
+        })
+        .collect();
+    let reports = runner::run_all(&specs);
+    let group = 2 + 2 * policies.len();
+    let mut rows = Vec::new();
+    for (w, rs) in ws.iter().zip(reports.chunks_exact(group)) {
+        let (base0, coax0) = (rs[0].ipc.max(1e-9), rs[1].ipc.max(1e-9));
+        for (pi, p) in policies.iter().enumerate() {
+            rows.push(PrefetchRow {
+                policy: p.label(),
+                workload: w.name.to_string(),
+                base_rel_ipc: rs[2 + 2 * pi].ipc / base0,
+                coax_rel_ipc: rs[3 + 2 * pi].ipc / coax0,
+            });
+        }
+    }
+    rows
+}
+
+/// One RNG-seed sensitivity row.
+#[derive(Debug, Clone, Serialize)]
+pub struct SeedStabilityRow {
+    pub seed: u64,
+    pub geomean_ipc: f64,
+}
+
+/// Re-run COAXIAL-4x under different workload-generation/CALM_R seeds.
+/// Same-seed determinism is proven elsewhere (bit-identical sweeps); this
+/// measures how much the headline number moves across *different* draws —
+/// it should be small, or the figures are measuring the seed.
+pub fn seed_stability(
+    seeds: &[u64],
+    workload_names: &[&str],
+    budget: Budget,
+) -> Vec<SeedStabilityRow> {
+    let ws = named_workloads(workload_names);
+    let specs: Vec<RunSpec> = seeds
+        .iter()
+        .flat_map(|&s| {
+            ws.iter().copied().map(move |w| budget.spec(SystemConfig::coaxial_4x().with_seed(s), w))
+        })
+        .collect();
+    let reports = runner::run_all(&specs);
+    seeds
+        .iter()
+        .zip(reports.chunks_exact(ws.len()))
+        .map(|(&seed, rs)| SeedStabilityRow {
+            seed,
+            geomean_ipc: geomean(rs.iter().map(|r| r.ipc)),
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -602,6 +786,41 @@ mod tests {
         let base = budget.run(SystemConfig::ddr_baseline(), w);
         let coax = budget.run(SystemConfig::coaxial_4x(), w);
         assert!(coax.speedup_over(&base) > 1.2);
+    }
+
+    #[test]
+    fn slower_dram_timings_lower_ipc() {
+        let rows = dram_timing_scale(&[1.0, 2.0], &["stream-add"], Budget::quick());
+        assert_eq!(rows.len(), 2);
+        assert!(
+            rows[1].base_geomean_ipc < rows[0].base_geomean_ipc,
+            "doubling every DDR5 timing must hurt a stream workload: {rows:#?}"
+        );
+    }
+
+    #[test]
+    fn core_scaling_and_seed_stability_shapes() {
+        let rows = core_scaling(&[4, 12], &["mcf"], Budget::quick());
+        assert_eq!(rows.len(), 2);
+        assert!(rows.iter().all(|r| r.speedup > 0.0 && r.coax_geomean_ipc > 0.0), "{rows:#?}");
+        let seeds = seed_stability(&[1, 0xC0A51A1], &["mcf"], Budget::quick());
+        assert_eq!(seeds.len(), 2);
+        assert!(seeds.iter().all(|r| r.geomean_ipc > 0.0), "{seeds:#?}");
+        // Different draws, same model: the headline number should not
+        // swing wildly with the seed.
+        let spread = seeds[0].geomean_ipc / seeds[1].geomean_ipc;
+        assert!((0.5..2.0).contains(&spread), "seed-driven IPC spread {spread:.2}x");
+    }
+
+    #[test]
+    fn prefetch_sweep_normalizes_to_no_prefetch() {
+        let rows = prefetch_sweep(
+            &[PrefetchPolicy::NextLine { degree: 2 }],
+            &["stream-add"],
+            Budget::quick(),
+        );
+        assert_eq!(rows.len(), 1);
+        assert!(rows[0].base_rel_ipc > 0.0 && rows[0].coax_rel_ipc > 0.0, "{rows:#?}");
     }
 
     #[test]

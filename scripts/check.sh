@@ -29,7 +29,11 @@ cargo clippy --offline --workspace --all-targets -- \
 echo "== coaxial-lint =="
 # Workspace static analysis: determinism (D01/D02), timing arithmetic
 # (T01/T02), zero-cost telemetry (Z01), unsafe hygiene (U01), and the
-# DramTimings cross-reference (C01). Suppressions live in lint-allow.toml.
+# cross-file coverage rules (C01, E01/E02, M01) over the symbol graph.
+# Suppressions live in lint-allow.toml; the rule catalog is docs/LINTS.md.
+# CI always runs the full scan; `--changed-only` exists for local loops.
+lint_start=$SECONDS
 cargo run -q --offline -p coaxial-lint --release
+echo "coaxial-lint wall time: $((SECONDS - lint_start))s"
 
 echo "check.sh: all green"
