@@ -111,11 +111,11 @@ fn main() {
             // MSHR count lives in HierarchyConfig; thread it via a custom run.
             let cfg = SystemConfig::coaxial_4x();
             let mut hier = coaxial_cache::HierarchyConfig::table_iii(
-                cfg.cores,
+                cfg.functional.cores,
                 cfg.ddr_channels(),
-                cfg.llc_mb_per_core,
+                cfg.functional.llc_mb_per_core,
                 cfg.peak_bandwidth_gbs(),
-                cfg.calm,
+                cfg.timing.calm,
             );
             hier.l2_mshrs = mshrs;
             run_custom(&cfg, hier, w)
@@ -215,12 +215,12 @@ fn run_custom(
         instructions: u64,
     ) -> f64 {
         let mut h = coaxial_cache::Hierarchy::new(hier_cfg, backend);
-        let mut cores: Vec<Core> = (0..cfg.cores)
+        let mut cores: Vec<Core> = (0..cfg.functional.cores)
             .map(|i| {
                 Core::new(
                     coaxial_sim::small_u32(i),
                     CoreParams::default(),
-                    w.trace(coaxial_sim::small_u32(i), cfg.seed),
+                    w.trace(coaxial_sim::small_u32(i), cfg.functional.seed),
                 )
             })
             .collect();
@@ -242,13 +242,13 @@ fn run_custom(
     }
 
     let instructions = budget();
-    match &cfg.memory {
+    match &cfg.timing.memory {
         coaxial_system::MemorySystemKind::DirectDdr { channels } => {
-            let b = coaxial_dram::MultiChannel::new(&cfg.dram, *channels);
+            let b = coaxial_dram::MultiChannel::new(&cfg.timing.dram, *channels);
             drive(cfg, hier, b, w, instructions)
         }
         coaxial_system::MemorySystemKind::Cxl { link, channels } => {
-            let b = coaxial_cxl::CxlMemory::new(link, &cfg.dram, *channels);
+            let b = coaxial_cxl::CxlMemory::new(link, &cfg.timing.dram, *channels);
             drive(cfg, hier, b, w, instructions)
         }
     }

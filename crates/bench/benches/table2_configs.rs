@@ -58,9 +58,9 @@ fn main() {
         t3.row(&[
             cfg.name.clone(),
             cfg.ddr_channels().to_string(),
-            f2(cfg.llc_mb_per_core),
+            f2(cfg.functional.llc_mb_per_core),
             f2(cfg.peak_bandwidth_gbs()),
-            cfg.calm.label(),
+            cfg.timing.calm.label(),
         ]);
     }
     t3.print();

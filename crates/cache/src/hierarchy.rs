@@ -23,7 +23,9 @@ use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
 
 use coaxial_dram::{MemRequest, MemoryBackend};
 use coaxial_sim::{Cycle, Histogram};
-use coaxial_telemetry::{MetricsRegistry, MissRecord, NullTelemetry, TelemetrySink, TraceEvent};
+use coaxial_telemetry::{
+    CounterEvent, MetricsRegistry, MissRecord, NullTelemetry, TelemetrySink, TraceEvent,
+};
 use serde::Serialize;
 
 use crate::cache::CacheArray;
@@ -45,6 +47,8 @@ pub mod trace_pid {
     pub const LLC_BANK_BASE: u32 = 100;
     /// Memory-channel lanes: `MEM_CHANNEL_BASE + channel`.
     pub const MEM_CHANNEL_BASE: u32 = 200;
+    /// Aggregate bandwidth-over-time counter track (Perfetto "C" events).
+    pub const MEM_BW: u32 = 300;
 }
 
 /// Outcome of [`Hierarchy::access`].
@@ -274,6 +278,37 @@ impl PrefillState {
     }
 }
 
+/// Disk-tier codec for warmed prefill state: three level counts followed by
+/// each array's [`CacheArray::encode_into`] payload. Decoding validates
+/// every array structurally; geometry compatibility with the importing
+/// hierarchy is checked by [`Hierarchy::import_prefill_state`] as usual.
+impl coaxial_sim::Snapshot for PrefillState {
+    fn encode(&self, out: &mut Vec<u8>) {
+        for level in [&self.l1, &self.l2, &self.llc] {
+            coaxial_sim::checkpoint::codec::put_u64(out, level.len() as u64);
+            for arr in level {
+                arr.encode_into(out);
+            }
+        }
+    }
+
+    fn decode(bytes: &[u8]) -> Option<Self> {
+        let mut r = coaxial_sim::checkpoint::codec::Reader::new(bytes);
+        let mut level = || -> Option<Vec<CacheArray>> {
+            let n = usize::try_from(r.u64()?).ok()?;
+            // Core counts are tiny; cap so a corrupt count cannot allocate.
+            if n > 4096 {
+                return None;
+            }
+            (0..n).map(|_| CacheArray::decode_from(&mut r)).collect()
+        };
+        let l1 = level()?;
+        let l2 = level()?;
+        let llc = level()?;
+        r.done().then_some(Self { l1, l2, llc })
+    }
+}
+
 /// The hierarchy, generic over the memory backend and the telemetry sink.
 ///
 /// The default sink, [`NullTelemetry`], has `ENABLED = false`: every
@@ -318,7 +353,19 @@ pub struct Hierarchy<B: MemoryBackend, T: TelemetrySink = NullTelemetry> {
     stats: HierStats,
     now: Cycle,
     tel: T,
+
+    /// Bandwidth-over-time sampling (telemetry builds only): bytes of
+    /// demand reads / writebacks accepted by the backend in the current
+    /// epoch, flushed to the tracer as counter events at epoch boundaries.
+    bw_epoch_start: Cycle,
+    bw_read_bytes: u64,
+    bw_write_bytes: u64,
 }
+
+/// Bandwidth counter-track epoch (cycles): ~1.7 µs at the 2.4 GHz system
+/// clock — fine enough to see warmup ramps and CALM throttling in
+/// Perfetto, coarse enough that a full run emits only thousands of samples.
+const BW_EPOCH: Cycle = 4096;
 
 impl<B: MemoryBackend> Hierarchy<B> {
     /// A hierarchy with telemetry disabled (the tier-1 fast path).
@@ -371,6 +418,9 @@ impl<B: MemoryBackend, T: TelemetrySink> Hierarchy<B, T> {
             stats: HierStats::default(),
             now: 0,
             tel,
+            bw_epoch_start: 0,
+            bw_read_bytes: 0,
+            bw_write_bytes: 0,
             cfg,
         }
     }
@@ -784,6 +834,34 @@ impl<B: MemoryBackend, T: TelemetrySink> Hierarchy<B, T> {
     pub fn tick(&mut self, now: Cycle) {
         self.now = now;
 
+        if T::ENABLED {
+            // Flush completed bandwidth epochs. Epochs are absolute (the
+            // sample timestamp is the epoch *start*, not `now`), so an
+            // event-driven run that skips quiescent cycles emits the same
+            // counter samples as a lockstep run — skipped epochs flush in
+            // order on the next tick, and quiescent epochs flush as zeros.
+            while now >= self.bw_epoch_start + BW_EPOCH {
+                let start = self.bw_epoch_start;
+                self.tel.on_counter(CounterEvent {
+                    name: "mem_read_bytes",
+                    cat: "mem",
+                    pid: trace_pid::MEM_BW,
+                    ts: start,
+                    value: self.bw_read_bytes,
+                });
+                self.tel.on_counter(CounterEvent {
+                    name: "mem_write_bytes",
+                    cat: "mem",
+                    pid: trace_pid::MEM_BW,
+                    ts: start,
+                    value: self.bw_write_bytes,
+                });
+                self.bw_read_bytes = 0;
+                self.bw_write_bytes = 0;
+                self.bw_epoch_start = start + BW_EPOCH;
+            }
+        }
+
         // 1. Fire memory-issue events that are due.
         while let Some(&Reverse(ev)) = self.issue_events.peek() {
             if ev.at > now {
@@ -806,6 +884,9 @@ impl<B: MemoryBackend, T: TelemetrySink> Hierarchy<B, T> {
                     let txn = self.txns[txn_id as usize].as_mut().expect("live");
                     txn.mem_enqueued_at = Some(now);
                     self.stats.mem_reads += 1;
+                    if T::ENABLED {
+                        self.bw_read_bytes += 64;
+                    }
                     if txn.drop_mem {
                         self.stats.wasted_mem_reads += 1;
                     }
@@ -820,6 +901,9 @@ impl<B: MemoryBackend, T: TelemetrySink> Hierarchy<B, T> {
                 Ok(()) => {
                     self.next_req_id += 1;
                     self.stats.mem_writes += 1;
+                    if T::ENABLED {
+                        self.bw_write_bytes += 64;
+                    }
                     self.writeback_queue.pop_front();
                 }
                 Err(_) => break,

@@ -74,6 +74,30 @@ pub trait TraceSource {
         let op = self.next_op();
         (op.line_addr, op.kind == MemKind::Store)
     }
+
+    /// Snapshot the generator's mutable cursor state for checkpointing.
+    ///
+    /// The contract: a fresh generator built from the same constructor
+    /// arguments, fed this snapshot through [`TraceSource::restore_state`],
+    /// produces the identical continuation of the stream. Only *cursors*
+    /// (RNG state, position counters, phase tags) belong in the snapshot —
+    /// immutable structure (layouts, parameters) is rebuilt by the
+    /// constructor. `None` (the default) means the source does not support
+    /// checkpointing and callers must regenerate from the start, which is
+    /// equivalent because every source is deterministic.
+    fn save_state(&self) -> Option<Vec<u64>> {
+        None
+    }
+
+    /// Restore a cursor snapshot produced by [`TraceSource::save_state`]
+    /// on a freshly constructed generator with the same arguments.
+    /// Returns `false` (the default) when unsupported or when the snapshot
+    /// shape does not match; the generator is then unchanged and the
+    /// caller falls back to regenerating from the start.
+    fn restore_state(&mut self, state: &[u64]) -> bool {
+        let _ = state;
+        false
+    }
 }
 
 /// A trace that replays a fixed vector of records forever. Mostly useful
@@ -102,6 +126,18 @@ impl TraceSource for VecTrace {
 impl<T: TraceSource + ?Sized> TraceSource for Box<T> {
     fn next_op(&mut self) -> TraceOp {
         (**self).next_op()
+    }
+
+    fn next_access(&mut self) -> (u64, bool) {
+        (**self).next_access()
+    }
+
+    fn save_state(&self) -> Option<Vec<u64>> {
+        (**self).save_state()
+    }
+
+    fn restore_state(&mut self, state: &[u64]) -> bool {
+        (**self).restore_state(state)
     }
 }
 

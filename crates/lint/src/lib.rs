@@ -27,7 +27,7 @@
 //! stream ([`parser`]) producing per-file item trees, and a
 //! workspace-wide symbol graph ([`symbols`]) recording definitions and
 //! read/write/call references. Per-file rules run over tokens; the
-//! cross-file rules (C01/E01/E02/M01) run over the graph. Resolution is
+//! cross-file rules (C01/E01/E02/E03/M01) run over the graph. Resolution is
 //! name-based rather than type-checked, which can only hide violations
 //! on commonly-named fields, never invent them — the right failure
 //! direction for a gate. Residual false positives are handled by a
@@ -155,6 +155,18 @@ pub const CATALOG: &[LintInfo] = &[
                     config-layer fn reachable from the experiment entry points writes it \
                     from a parameter (a builder the sweeps vary) or from two distinct \
                     reachable constructors (a variant-pair comparison).",
+    },
+    LintInfo {
+        id: "E03",
+        summary: "timing-half config fields must not be readable from the prefill call graph",
+        rationale: "post-prefill machine state is checkpointed in a content-addressed store \
+                    keyed by the functional config slice alone (workloads, seed, cores, \
+                    cache geometry), so every timing sibling — CXL latency, DRAM timings, \
+                    CALM policy, prefetch degree — shares one warmed snapshot. That is \
+                    sound only while nothing reachable from the prefill entry points reads \
+                    a TimingConfig field; a single timing read silently makes restored runs \
+                    diverge from cold ones. Constructor/builder callees (new/with_*/…) are \
+                    exempt: they consume timing to build the machine, not to warm it.",
     },
     LintInfo {
         id: "M01",

@@ -1,7 +1,7 @@
 //! The lint rules. See [`crate::CATALOG`] for the contract each encodes.
 //!
 //! Per-file rules are pure functions over a lexed file ([`FileCtx`]);
-//! cross-file rules (C01/E01/E02/M01) run over the workspace symbol graph
+//! cross-file rules (C01/E01/E02/E03/M01) run over the workspace symbol graph
 //! ([`Workspace`]). Both layers are driven directly by the fixture tests
 //! in `tests/fixtures.rs` on seeded good/bad sources, with rule *specs*
 //! (which structs, which files) passed as parameters so the fixtures can
@@ -156,6 +156,7 @@ pub fn lint_cross_file(ws: &Workspace) -> Vec<Finding> {
     let mut out = lint_cross_reference(ws);
     out.extend(check_e01(ws, E01_STRUCTS));
     out.extend(check_e02(ws, &E02_SPEC));
+    out.extend(check_e03(ws, &E03_SPEC));
     out.extend(check_m01(ws, &M01_SPEC));
     out
 }
@@ -760,6 +761,8 @@ pub const E01_STRUCTS: &[CoverageSpec<'static>] = &[
     CoverageSpec { struct_name: "DramConfig", config_rel: "crates/dram/src/config.rs" },
     CoverageSpec { struct_name: "CxlLinkConfig", config_rel: "crates/cxl/src/config.rs" },
     CoverageSpec { struct_name: "SystemConfig", config_rel: "crates/system/src/config.rs" },
+    CoverageSpec { struct_name: "FunctionalConfig", config_rel: "crates/system/src/config.rs" },
+    CoverageSpec { struct_name: "TimingConfig", config_rel: "crates/system/src/config.rs" },
 ];
 
 /// E01: every `pub` field of each spec struct has at least one field-read
@@ -818,6 +821,8 @@ pub const E02_SPEC: SweepSpec<'static> = SweepSpec {
         CoverageSpec { struct_name: "DramTimings", config_rel: "crates/dram/src/config.rs" },
         CoverageSpec { struct_name: "CxlLinkConfig", config_rel: "crates/cxl/src/config.rs" },
         CoverageSpec { struct_name: "SystemConfig", config_rel: "crates/system/src/config.rs" },
+        CoverageSpec { struct_name: "FunctionalConfig", config_rel: "crates/system/src/config.rs" },
+        CoverageSpec { struct_name: "TimingConfig", config_rel: "crates/system/src/config.rs" },
     ],
     exercise_files: &["crates/system/src/experiments.rs", "crates/sim/src/env.rs"],
     layer_files: &[
@@ -902,6 +907,130 @@ pub fn check_e02(ws: &Workspace, spec: &SweepSpec) -> Vec<Finding> {
                         cs.struct_name,
                         field.name,
                         spec.exercise_files.join(", ")
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// E03 — timing-half isolation of the prefill call graph
+// ---------------------------------------------------------------------------
+
+/// E03 rule spec: the timing-half config struct, the parent-config field
+/// holding it, the entry-point name prefix, and the source tree the
+/// reachability walk may traverse.
+pub struct IsolationSpec<'a> {
+    /// The timing-half struct whose fields are off-limits.
+    pub timing_struct: &'a str,
+    /// File defining `timing_struct`.
+    pub config_rel: &'a str,
+    /// Parent-config field holding the timing half (`SystemConfig.timing`);
+    /// reading it at all from the prefill call graph is a violation.
+    pub timing_field: &'a str,
+    /// Non-test fns whose names start with this prefix are the roots.
+    pub entry_prefix: &'a str,
+    /// Repo-relative path prefixes the BFS may traverse.
+    pub traversal: &'a [&'a str],
+}
+
+/// The real tree's E03 spec. The prefill checkpoint store
+/// (`crates/system/src/server.rs`) keys warmed machine state by the
+/// functional config slice alone, so every timing sibling of a functional
+/// config shares one checkpoint — sound only while nothing on the prefill
+/// call graph can observe the timing half.
+pub const E03_SPEC: IsolationSpec<'static> = IsolationSpec {
+    timing_struct: "TimingConfig",
+    config_rel: "crates/system/src/config.rs",
+    timing_field: "timing",
+    entry_prefix: "prefill",
+    traversal: &[
+        "crates/system/src/",
+        "crates/cache/src/",
+        "crates/cpu/src/",
+        "crates/workloads/src/",
+        "crates/sim/src/",
+    ],
+};
+
+/// Constructor-shaped callee names the E03 walk does not enter: ctors and
+/// builders legitimately consume the timing half to *build* the machine
+/// (a `Hierarchy::new` takes DRAM timings); E03 polices the prefill replay
+/// that runs over the already-built machine.
+const E03_CTOR_NAMES: &[&str] = &["new", "default", "table_iii"];
+const E03_CTOR_PREFIXES: &[&str] = &["with_", "from_"];
+
+fn e03_is_ctor(name: &str) -> bool {
+    E03_CTOR_NAMES.contains(&name) || E03_CTOR_PREFIXES.iter().any(|p| name.starts_with(p))
+}
+
+/// E03: no fn reachable from the prefill entry points may read a
+/// timing-half field. Reachability is the same name-based BFS as E02;
+/// the over-approximation (any same-named fn counts as a callee) can only
+/// widen the guarded graph, never shrink it — the right failure direction
+/// for an isolation proof.
+pub fn check_e03(ws: &Workspace, spec: &IsolationSpec) -> Vec<Finding> {
+    let Some(def) = ws.struct_def(spec.config_rel, spec.timing_struct) else {
+        return Vec::new();
+    };
+    let mut timing_fields: BTreeSet<&str> = def.fields.iter().map(|f| f.name.as_str()).collect();
+    timing_fields.insert(spec.timing_field);
+
+    let in_walk = |rel: &str| spec.traversal.iter().any(|p| rel.starts_with(p));
+    let mut by_name: std::collections::BTreeMap<&str, Vec<(&str, &FnSym)>> = Default::default();
+    for (rel, syms) in &ws.files {
+        if !in_walk(rel) {
+            continue;
+        }
+        for f in syms.fns.iter().filter(|f| !f.in_test) {
+            by_name.entry(f.name.as_str()).or_default().push((rel.as_str(), f));
+        }
+    }
+
+    let mut reachable: BTreeSet<(&str, u32)> = BTreeSet::new();
+    let mut queue: Vec<(&str, &FnSym)> = Vec::new();
+    for fns in by_name.values() {
+        for &(rel, f) in fns {
+            if f.name.starts_with(spec.entry_prefix) && reachable.insert((rel, f.line)) {
+                queue.push((rel, f));
+            }
+        }
+    }
+    while let Some((_, f)) = queue.pop() {
+        for call in &f.calls {
+            if e03_is_ctor(call) {
+                continue;
+            }
+            for &(rel2, f2) in by_name.get(call.as_str()).into_iter().flatten() {
+                if reachable.insert((rel2, f2.line)) {
+                    queue.push((rel2, f2));
+                }
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    for fns in by_name.values() {
+        for &(rel, f) in fns {
+            if !reachable.contains(&(rel, f.line)) {
+                continue;
+            }
+            for field in f.field_reads.iter().filter(|r| timing_fields.contains(r.as_str())) {
+                out.push(Finding {
+                    id: "E03",
+                    path: rel.to_string(),
+                    line: f.line,
+                    ident: field.clone(),
+                    message: format!(
+                        "`{}` is reachable from the prefill entry points but reads \
+                         timing-half field `{field}` — post-prefill checkpoints are keyed \
+                         by the functional config slice alone, so a {} read on the \
+                         prefill call graph silently invalidates every shared checkpoint; \
+                         move the read out of the prefill path or promote the knob into \
+                         the functional half and the key",
+                        f.name, spec.timing_struct
                     ),
                 });
             }

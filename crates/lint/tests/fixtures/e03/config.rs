@@ -1,0 +1,17 @@
+//! E03 fixture config: a parent config split into a functional half (part
+//! of the checkpoint key) and a timing half (off-limits to prefill).
+
+pub struct FunctionalCfg {
+    pub cores: usize,
+    pub seed: u64,
+}
+
+pub struct TimingCfg {
+    pub link_ns: u64,
+    pub dram: u64,
+}
+
+pub struct Cfg {
+    pub functional: FunctionalCfg,
+    pub timing: TimingCfg,
+}

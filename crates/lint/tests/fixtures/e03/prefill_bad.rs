@@ -1,0 +1,31 @@
+//! E03 bad twin: one direct timing read in an entry point, one smuggled
+//! through a helper the prefill path calls.
+
+pub struct Hier {
+    lines: u64,
+}
+
+impl Hier {
+    pub fn touch(&mut self, line: u64) {
+        self.lines = self.lines.wrapping_add(line);
+    }
+}
+
+/// Direct violation: the warm loop's depth depends on the link latency, so
+/// two timing siblings would warm different state under one checkpoint key.
+pub fn prefill_warm(cfg: &Cfg, h: &mut Hier) {
+    let depth = cfg.timing.link_ns;
+    for core in 0..cfg.functional.cores {
+        h.touch(depth ^ core as u64);
+    }
+}
+
+/// Indirect violation: the entry point is clean, but a reachable helper
+/// reads the DRAM half of the timing config.
+pub fn prefill_depth(cfg: &Cfg) -> u64 {
+    lookahead(cfg)
+}
+
+fn lookahead(cfg: &Cfg) -> u64 {
+    cfg.timing.dram
+}

@@ -13,6 +13,7 @@
 //! | `COAXIAL_ENGINE`  | run-loop engine: `event` (default) or `lockstep`   |
 //! | `COAXIAL_DEBUG`   | end-of-run engine diagnostics on stderr            |
 //! | `COAXIAL_PREFILL_CACHE_MB` | byte budget (MB) for each cross-run prefill cache |
+//! | `COAXIAL_CHECKPOINT_DIR` | disk tier for the post-prefill checkpoint store |
 
 /// Read a `u64` from the environment, falling back to `default` when the
 /// variable is unset or unparsable.
@@ -80,8 +81,30 @@ pub fn debug() -> bool {
 /// budget from heap-locality loss alone). 64 MB holds roughly 8–16
 /// warmed states — plenty for interleaved parallel schedules — while
 /// keeping the resident set close to the one-entry behaviour.
+///
+/// Budgets above 128 MB are legal but the simulation driver warns once
+/// (stderr + `server.checkpoint.budget_over_cliff` in the registry): the
+/// measured sweep showed throughput flat from 32–128 MB and falling past
+/// that, with the full ~40 % cliff at 256 MB, so more than 128 MB only
+/// buys slowdown. Prefer `COAXIAL_CHECKPOINT_DIR` for large retained sets
+/// — the disk tier holds unlimited warmed states without touching the
+/// prefill loop's working set.
 pub fn prefill_cache_mb() -> u64 {
     env_u64("COAXIAL_PREFILL_CACHE_MB", 64)
+}
+
+/// Optional directory for the checkpoint store's disk tier
+/// (`COAXIAL_CHECKPOINT_DIR`). When set and non-empty, every freshly
+/// warmed post-prefill state is also written there (atomic temp-file +
+/// rename, content-addressed by functional-config hash) and later runs —
+/// including other processes and future invocations — restore it instead
+/// of re-simulating prefill. Unset or empty disables the tier; disk I/O
+/// errors are counted (`server.checkpoint.disk_errors`), never fatal.
+pub fn checkpoint_dir() -> Option<std::path::PathBuf> {
+    match std::env::var("COAXIAL_CHECKPOINT_DIR") {
+        Ok(v) if !v.is_empty() => Some(std::path::PathBuf::from(v)),
+        _ => None,
+    }
 }
 
 #[cfg(test)]
@@ -110,5 +133,18 @@ mod tests {
         }
         std::env::set_var("COAXIAL_TEST_ENV_FLAG", "on");
         assert!(env_flag("COAXIAL_TEST_ENV_FLAG", false));
+    }
+
+    #[test]
+    fn checkpoint_dir_empty_means_disabled() {
+        // checkpoint_dir() reads a fixed name, so this test owns it; no
+        // other test in this binary touches COAXIAL_CHECKPOINT_DIR.
+        std::env::remove_var("COAXIAL_CHECKPOINT_DIR");
+        assert_eq!(checkpoint_dir(), None);
+        std::env::set_var("COAXIAL_CHECKPOINT_DIR", "");
+        assert_eq!(checkpoint_dir(), None, "empty value disables the tier");
+        std::env::set_var("COAXIAL_CHECKPOINT_DIR", "/tmp/ckpt");
+        assert_eq!(checkpoint_dir(), Some(std::path::PathBuf::from("/tmp/ckpt")));
+        std::env::remove_var("COAXIAL_CHECKPOINT_DIR");
     }
 }

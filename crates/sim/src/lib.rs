@@ -13,6 +13,8 @@
 //!   percentile queries (re-exported from `coaxial-telemetry`, the
 //!   canonical implementation),
 //! * [`lru`] — a byte-bounded keyed LRU (prefill-state memoization),
+//! * [`checkpoint`] — the content-addressed snapshot store (memory LRU +
+//!   optional disk tier) behind post-prefill state restore,
 //! * [`queue`] — bounded FIFO queues that record occupancy statistics, and
 //!   the deterministic event min-queue behind the event-driven run loop,
 //! * [`env`] — the shared `COAXIAL_*` environment knobs (budgets, job count,
@@ -21,6 +23,7 @@
 // No unsafe anywhere in this crate (lint U01 audit); keep it that way.
 #![forbid(unsafe_code)]
 
+pub mod checkpoint;
 pub mod env;
 pub mod lru;
 pub mod narrow;
@@ -29,6 +32,7 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 
+pub use checkpoint::{CheckpointCounters, CheckpointStore, KeyHasher, Snapshot};
 pub use lru::ByteBoundedLru;
 pub use narrow::{idx, small_u32, small_u32_u64, trunc_u32, trunc_u64, trunc_usize};
 pub use queue::{BoundedQueue, EventQueue};

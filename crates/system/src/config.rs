@@ -5,6 +5,28 @@
 //! variants replace it with 2–4 CXL-attached channels (8 DDR channels for
 //! COAXIAL-asym, two per CXL-asym link). All COAXIAL variants default to
 //! CALM_70%.
+//!
+//! # The functional / timing split
+//!
+//! [`SystemConfig`] is deliberately two nested halves:
+//!
+//! * [`FunctionalConfig`] — everything that determines *which* memory
+//!   accesses happen and *what state* the machine holds after the
+//!   functional prefill: core counts, the workload seed, and cache
+//!   geometry. Two configs with equal functional halves produce
+//!   byte-identical post-prefill machine state, no matter how their
+//!   timing halves differ.
+//! * [`TimingConfig`] — everything that only determines *when* things
+//!   happen in the timed phase: the memory system (CXL link parameters,
+//!   channel counts), CALM policy and epoch, the prefetcher, and DRAM
+//!   timings.
+//!
+//! This split is what makes the content-addressed prefill checkpoint
+//! store in `coaxial-system` sound: checkpoints are keyed by a canonical
+//! hash of the functional slice only, so a latency sweep over 36 timing
+//! variants reuses one warmed snapshot. Lint E03 (`coaxial-lint`)
+//! enforces the invariant structurally: code reachable from the prefill
+//! call graph must not read timing-half fields.
 
 use coaxial_cache::{CalmPolicy, PrefetchPolicy};
 use coaxial_cxl::CxlLinkConfig;
@@ -20,18 +42,26 @@ pub enum MemorySystemKind {
     Cxl { link: CxlLinkConfig, channels: usize },
 }
 
-/// A complete simulated server configuration.
+/// The functional half of a configuration: determines the post-prefill
+/// machine state (and nothing about cycle timing). See the module docs.
 #[derive(Debug, Clone, Serialize)]
-pub struct SystemConfig {
-    /// Human-readable configuration name (used in reports).
-    pub name: String,
+pub struct FunctionalConfig {
     /// Cores on the simulated slice (Table III: 12).
     pub cores: usize,
     /// Cores actually running a workload (Fig. 11 sensitivity).
     pub active_cores: usize,
     /// LLC capacity per core in MB (Table II: 2 MB baseline, 1 MB for
-    /// COAXIAL-4x/asym).
+    /// COAXIAL-4x/asym). Geometry, not timing: it fixes which lines
+    /// survive the prefill.
     pub llc_mb_per_core: f64,
+    /// RNG seed for workload generation and CALM_R decisions.
+    pub seed: u64,
+}
+
+/// The timing half of a configuration: determines *when* accesses
+/// complete, never *which* accesses happen. See the module docs.
+#[derive(Debug, Clone, Serialize)]
+pub struct TimingConfig {
     pub memory: MemorySystemKind,
     pub calm: CalmPolicy,
     /// CALM_R monitoring epoch in cycles (ablation knob).
@@ -39,23 +69,36 @@ pub struct SystemConfig {
     /// Optional L2 prefetcher (extension; the paper runs without one).
     pub prefetch: PrefetchPolicy,
     pub dram: DramConfig,
-    /// RNG seed for workload generation and CALM_R decisions.
-    pub seed: u64,
+}
+
+/// A complete simulated server configuration.
+#[derive(Debug, Clone, Serialize)]
+pub struct SystemConfig {
+    /// Human-readable configuration name (used in reports).
+    pub name: String,
+    /// The half that shapes machine state (prefill checkpoint key).
+    pub functional: FunctionalConfig,
+    /// The half that shapes cycle timing only.
+    pub timing: TimingConfig,
 }
 
 impl SystemConfig {
     fn base(name: &str, memory: MemorySystemKind, llc_mb: f64, calm: CalmPolicy) -> Self {
         Self {
             name: name.to_string(),
-            cores: 12,
-            active_cores: 12,
-            llc_mb_per_core: llc_mb,
-            memory,
-            calm,
-            calm_epoch: coaxial_cache::calm::CALM_EPOCH,
-            prefetch: PrefetchPolicy::None,
-            dram: DramConfig::ddr5_4800(),
-            seed: 0xC0A51A1,
+            functional: FunctionalConfig {
+                cores: 12,
+                active_cores: 12,
+                llc_mb_per_core: llc_mb,
+                seed: 0xC0A51A1,
+            },
+            timing: TimingConfig {
+                memory,
+                calm,
+                calm_epoch: coaxial_cache::calm::CALM_EPOCH,
+                prefetch: PrefetchPolicy::None,
+                dram: DramConfig::ddr5_4800(),
+            },
         }
     }
 
@@ -115,7 +158,7 @@ impl SystemConfig {
 
     /// Override the CALM mechanism (Fig. 7).
     pub fn with_calm(mut self, calm: CalmPolicy) -> Self {
-        self.calm = calm;
+        self.timing.calm = calm;
         let suffix = calm.label();
         self.name = format!("{}+{}", self.name, suffix);
         self
@@ -124,7 +167,7 @@ impl SystemConfig {
     /// Override the CXL unloaded latency budget in ns (Fig. 10; §VII's
     /// 10 ns OMI-like projection). No effect on DDR configurations.
     pub fn with_cxl_latency_ns(mut self, total_ns: f64) -> Self {
-        if let MemorySystemKind::Cxl { link, .. } = &mut self.memory {
+        if let MemorySystemKind::Cxl { link, .. } = &mut self.timing.memory {
             *link = link.clone().with_total_port_latency_ns(total_ns);
             self.name = format!("{} ({total_ns:.0}ns CXL)", self.name);
         }
@@ -137,26 +180,26 @@ impl SystemConfig {
     /// to idle cores without shrinking the slice.
     pub fn with_cores(mut self, n: usize) -> Self {
         assert!(n >= 1, "a server needs at least one core");
-        self.cores = n;
-        self.active_cores = n;
+        self.functional.cores = n;
+        self.functional.active_cores = n;
         self
     }
 
     /// Run the workload on only the first `n` cores (Fig. 11).
     pub fn with_active_cores(mut self, n: usize) -> Self {
-        assert!(n >= 1 && n <= self.cores);
-        self.active_cores = n;
+        assert!(n >= 1 && n <= self.functional.cores);
+        self.functional.active_cores = n;
         self
     }
 
     pub fn with_seed(mut self, seed: u64) -> Self {
-        self.seed = seed;
+        self.functional.seed = seed;
         self
     }
 
     /// Enable an L2 prefetcher (extension experiments).
     pub fn with_prefetch(mut self, prefetch: PrefetchPolicy) -> Self {
-        self.prefetch = prefetch;
+        self.timing.prefetch = prefetch;
         if prefetch != PrefetchPolicy::None {
             self.name = format!("{}+pf({})", self.name, prefetch.label());
         }
@@ -166,20 +209,20 @@ impl SystemConfig {
     /// Override the CALM_R monitoring epoch (ablation experiments).
     pub fn with_calm_epoch(mut self, cycles: u64) -> Self {
         assert!(cycles > 0);
-        self.calm_epoch = cycles;
+        self.timing.calm_epoch = cycles;
         self
     }
 
     /// Override the DRAM configuration (ablation experiments: page policy,
     /// scheduler window, queue depths).
     pub fn with_dram(mut self, dram: DramConfig) -> Self {
-        self.dram = dram;
+        self.timing.dram = dram;
         self
     }
 
     /// Number of DDR channels behind the memory system.
     pub fn ddr_channels(&self) -> usize {
-        match &self.memory {
+        match &self.timing.memory {
             MemorySystemKind::DirectDdr { channels } => *channels,
             MemorySystemKind::Cxl { link, channels } => channels * link.ddr_channels_per_device,
         }
@@ -187,7 +230,7 @@ impl SystemConfig {
 
     /// Aggregate peak DDR bandwidth, GB/s.
     pub fn peak_bandwidth_gbs(&self) -> f64 {
-        self.dram.peak_bandwidth_gbs() * self.ddr_channels() as f64
+        self.timing.dram.peak_bandwidth_gbs() * self.ddr_channels() as f64
     }
 
     /// Relative memory bandwidth vs. the 1-channel baseline.
@@ -211,19 +254,19 @@ mod tests {
 
     #[test]
     fn table_ii_llc_capacities() {
-        assert_eq!(SystemConfig::ddr_baseline().llc_mb_per_core, 2.0);
-        assert_eq!(SystemConfig::coaxial_2x().llc_mb_per_core, 2.0);
-        assert_eq!(SystemConfig::coaxial_4x().llc_mb_per_core, 1.0);
-        assert_eq!(SystemConfig::coaxial_asym().llc_mb_per_core, 1.0);
+        assert_eq!(SystemConfig::ddr_baseline().functional.llc_mb_per_core, 2.0);
+        assert_eq!(SystemConfig::coaxial_2x().functional.llc_mb_per_core, 2.0);
+        assert_eq!(SystemConfig::coaxial_4x().functional.llc_mb_per_core, 1.0);
+        assert_eq!(SystemConfig::coaxial_asym().functional.llc_mb_per_core, 1.0);
     }
 
     #[test]
     fn coaxial_defaults_to_calm_70() {
-        match SystemConfig::coaxial_4x().calm {
+        match SystemConfig::coaxial_4x().timing.calm {
             CalmPolicy::CalmR { r } => assert!((r - 0.7).abs() < 1e-9),
             other => panic!("default CALM must be CALM_70%, got {other:?}"),
         }
-        assert_eq!(SystemConfig::ddr_baseline().calm, CalmPolicy::Serial);
+        assert_eq!(SystemConfig::ddr_baseline().timing.calm, CalmPolicy::Serial);
     }
 
     #[test]
@@ -240,6 +283,22 @@ mod tests {
         assert_eq!(ddr.name, "DDR-baseline");
         let coax = SystemConfig::coaxial_4x().with_cxl_latency_ns(70.0);
         assert!(coax.name.contains("70ns"));
+    }
+
+    #[test]
+    fn timing_overrides_leave_the_functional_half_untouched() {
+        // The checkpoint key depends only on the functional half; a full
+        // timing sweep must therefore share one serialized functional slice.
+        let base = SystemConfig::coaxial_4x();
+        let swept = SystemConfig::coaxial_4x()
+            .with_cxl_latency_ns(70.0)
+            .with_calm(CalmPolicy::MapI)
+            .with_calm_epoch(5_000)
+            .with_prefetch(PrefetchPolicy::NextLine { degree: 2 })
+            .with_dram(DramConfig::ddr5_4800());
+        let a = format!("{:?}", base.functional);
+        let b = format!("{:?}", swept.functional);
+        assert_eq!(a, b, "timing builders must not leak into FunctionalConfig");
     }
 
     #[test]

@@ -102,7 +102,7 @@ impl RunSpec {
         instructions: u64,
         warmup: u64,
     ) -> Self {
-        let workloads = vec![workload; config.cores];
+        let workloads = vec![workload; config.functional.cores];
         Self { config, workloads, instructions, warmup }
     }
 

@@ -14,7 +14,7 @@
 //! 3. the raw per-request telemetry ledgers ([`MissRecord`]s), which pin
 //!    the cycle-exact path of every L2 miss through the hierarchy.
 //!
-//! `server.prefill.*` metrics are excluded: the prefill caches are
+//! `server.prefill.*` and `server.checkpoint.*` metrics are excluded: the checkpoint stores are
 //! process-wide and cumulative, so their hit counts depend on how many
 //! runs this *process* has already done, not on the engine under test.
 //!
@@ -51,7 +51,9 @@ fn observe(
         .run_with_telemetry(TelemetryRecorder::new().keep_requests(1 << 16));
     let metrics = metrics
         .iter()
-        .filter(|(path, _)| !path.starts_with("server.prefill."))
+        .filter(|(path, _)| {
+            !path.starts_with("server.prefill.") && !path.starts_with("server.checkpoint.")
+        })
         .map(|(path, v)| format!("{path} = {v:?}"))
         .collect();
     Observed { report: format!("{report:?}"), metrics, requests: format!("{:?}", rec.requests) }
@@ -70,7 +72,7 @@ fn draw(rng: &mut SplitMix64) -> (SystemConfig, (u64, u64)) {
     // Occasionally leave cores idle: parked-core bookkeeping must stay
     // exact when some slots never block (or never run).
     let cfg = if rng.chance(0.25) {
-        let cores = u64::try_from(cfg.cores).unwrap();
+        let cores = u64::try_from(cfg.functional.cores).unwrap();
         let active = 1 + coaxial_sim::idx(rng.next_below(cores - 1));
         cfg.with_active_cores(active)
     } else {

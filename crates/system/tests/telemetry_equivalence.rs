@@ -96,14 +96,18 @@ fn harvested_metrics_match_report_and_cover_all_layers() {
     let ch_reads: u64 =
         (0..4).map(|i| metrics.counter(&format!("mem.ch{i}.ddr.reads")).unwrap()).sum();
     assert_eq!(ch_reads, report.ddr.reads);
-    // Prefill caches surface process-wide counters.
-    assert!(metrics.counter("server.prefill.state_cache.hits").is_some());
-    assert!(metrics.counter("server.prefill.stream_cache.misses").is_some());
+    // Checkpoint stores surface process-wide counters, and each run
+    // reports its prefill wall time and restore outcome.
+    assert!(metrics.counter("server.checkpoint.state.mem_hits").is_some());
+    assert!(metrics.counter("server.checkpoint.streams.misses").is_some());
     assert!(
-        metrics.counter("server.prefill.state_cache.hits").unwrap()
-            + metrics.counter("server.prefill.state_cache.misses").unwrap()
+        metrics.counter("server.checkpoint.state.mem_hits").unwrap()
+            + metrics.counter("server.checkpoint.state.disk_hits").unwrap()
+            + metrics.counter("server.checkpoint.state.misses").unwrap()
             > 0
     );
+    assert!(metrics.counter("server.prefill.wall_ns").is_some());
+    assert!(metrics.counter("server.prefill.restored").is_some());
     // And the registry renders without panicking.
     assert!(metrics.render(None).contains("hier.l2_misses"));
 }

@@ -51,4 +51,4 @@ pub use attribution::{Component, LatencyAttribution, MissRecord, COMPONENTS};
 pub use registry::{MetricValue, MetricsRegistry, SharedCounter};
 pub use sink::{NullTelemetry, TelemetryRecorder, TelemetrySink};
 pub use stats::{Histogram, MeanTracker};
-pub use trace::{EventTracer, TraceEvent};
+pub use trace::{CounterEvent, EventTracer, TraceEvent};

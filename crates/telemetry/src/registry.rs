@@ -2,7 +2,7 @@
 //!
 //! Components publish counters, gauges, and histograms under dot-separated
 //! paths mirroring the hardware hierarchy (`dram.ch0.row_hits`,
-//! `cxl.ch2.link.tx_utilization`, `server.prefill.state_cache.hits`). The
+//! `cxl.ch2.link.tx_utilization`, `server.checkpoint.state.mem_hits`). The
 //! registry is a *snapshot* container: model crates keep their hot counters
 //! in plain struct fields (no indirection on the simulation fast path) and
 //! export them here at harvest time, so the registry's cost is zero during

@@ -13,7 +13,7 @@
 //! [`MissRecord`]s for property tests.
 
 use crate::attribution::{LatencyAttribution, MissRecord};
-use crate::trace::{EventTracer, TraceEvent};
+use crate::trace::{CounterEvent, EventTracer, TraceEvent};
 use crate::Cycle;
 
 /// Receiver for simulation telemetry.
@@ -31,6 +31,12 @@ pub trait TelemetrySink {
 
     /// A component occupied a time span (for the event trace).
     fn on_span(&mut self, ev: TraceEvent);
+
+    /// A counter sample (quantity-over-time, e.g. bandwidth per epoch).
+    /// Default no-op so existing sinks need not care about counters.
+    fn on_counter(&mut self, ev: CounterEvent) {
+        let _ = ev;
+    }
 
     /// The statistics window restarted (end of warmup). Sinks that
     /// aggregate should drop warmup-era records so attribution covers the
@@ -51,6 +57,9 @@ impl TelemetrySink for NullTelemetry {
 
     #[inline(always)]
     fn on_span(&mut self, _ev: TraceEvent) {}
+
+    #[inline(always)]
+    fn on_counter(&mut self, _ev: CounterEvent) {}
 }
 
 /// Full recording sink: aggregates attribution, traces events, and keeps
@@ -110,6 +119,11 @@ impl TelemetrySink for TelemetryRecorder {
     #[inline]
     fn on_span(&mut self, ev: TraceEvent) {
         self.tracer.record(ev);
+    }
+
+    #[inline]
+    fn on_counter(&mut self, ev: CounterEvent) {
+        self.tracer.record_counter(ev);
     }
 
     fn on_reset(&mut self) {

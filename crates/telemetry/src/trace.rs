@@ -1,8 +1,9 @@
 //! Bounded ring-buffer event tracer with Chrome-trace JSON export.
 //!
 //! The tracer records complete ("ph":"X") duration events for memory
-//! transactions inside a configurable cycle window and serialises them in
-//! the Chrome trace event format, loadable in Perfetto
+//! transactions, plus counter ("ph":"C") samples for quantities-over-time
+//! such as memory bandwidth, inside a configurable cycle window, and
+//! serialises them in the Chrome trace event format, loadable in Perfetto
 //! (<https://ui.perfetto.dev>) or `about://tracing`.
 //!
 //! Capacity is bounded: once `capacity` events are held, the oldest are
@@ -37,12 +38,36 @@ pub struct TraceEvent {
     pub line: u64,
 }
 
-/// Bounded ring-buffer of [`TraceEvent`]s over a cycle window.
+/// One counter sample destined for a Chrome trace ("ph":"C").
+///
+/// Counter tracks render as area charts in Perfetto — one track per
+/// `(pid, name)` — which makes bandwidth-over-time of a checkpoint-restored
+/// run visually diffable against a cold run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterEvent {
+    /// Counter-track name (e.g. "mem_read_bytes").
+    pub name: &'static str,
+    /// Category tag ("mem", "cache", "cxl").
+    pub cat: &'static str,
+    /// Process lane (component index).
+    pub pid: u32,
+    /// Sample timestamp in cycles (by convention the *start* of the
+    /// sampling epoch, so samples are engine-independent).
+    pub ts: Cycle,
+    /// Sampled value (e.g. bytes transferred during the epoch).
+    pub value: u64,
+}
+
+/// Bounded ring-buffer of [`TraceEvent`]s and [`CounterEvent`]s over a
+/// cycle window.
 #[derive(Debug, Clone)]
 pub struct EventTracer {
     events: Vec<TraceEvent>,
     /// Next slot to overwrite once the buffer is full.
     head: usize,
+    /// Counter samples, a ring of the same capacity as `events`.
+    counters: Vec<CounterEvent>,
+    counter_head: usize,
     capacity: usize,
     /// Only events starting within [window_start, window_end) are kept.
     window_start: Cycle,
@@ -62,6 +87,8 @@ impl EventTracer {
         Self {
             events: Vec::with_capacity(capacity.min(4096)),
             head: 0,
+            counters: Vec::new(),
+            counter_head: 0,
             capacity: capacity.max(1),
             window_start,
             window_end,
@@ -82,6 +109,24 @@ impl EventTracer {
         } else {
             self.events[self.head] = ev;
             self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    /// Record a counter sample. Same window and ring semantics as
+    /// [`EventTracer::record`], on a separate ring of equal capacity so a
+    /// burst of span events cannot push out the bandwidth timeline (or
+    /// vice versa).
+    #[inline]
+    pub fn record_counter(&mut self, ev: CounterEvent) {
+        if ev.ts < self.window_start || ev.ts >= self.window_end {
+            return;
+        }
+        if self.counters.len() < self.capacity {
+            self.counters.push(ev);
+        } else {
+            self.counters[self.counter_head] = ev;
+            self.counter_head = (self.counter_head + 1) % self.capacity;
             self.dropped += 1;
         }
     }
@@ -111,6 +156,12 @@ impl EventTracer {
         older.iter().chain(newer.iter()).collect()
     }
 
+    /// Counter samples in chronological order (oldest surviving first).
+    pub fn counter_samples(&self) -> Vec<&CounterEvent> {
+        let (newer, older) = self.counters.split_at(self.counter_head);
+        older.iter().chain(newer.iter()).collect()
+    }
+
     /// Serialise to Chrome trace event format JSON.
     ///
     /// Timestamps and durations are converted from cycles to microseconds
@@ -130,6 +181,19 @@ impl EventTracer {
                 "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{:.4},\"dur\":{:.4},\
                  \"pid\":{},\"tid\":{},\"args\":{{\"line\":{},\"start_cycle\":{},\"dur_cycles\":{}}}}}",
                 ev.name, ev.cat, ts_us, dur_us, ev.pid, ev.tid, ev.line, ev.start, ev.dur
+            ));
+        }
+        let mut first = self.events.is_empty();
+        for ev in self.counter_samples() {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let ts_us = ev.ts as f64 * NS_PER_CYCLE / 1000.0;
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"C\",\"ts\":{:.4},\"pid\":{},\
+                 \"args\":{{\"value\":{},\"cycle\":{}}}}}",
+                ev.name, ev.cat, ts_us, ev.pid, ev.value, ev.ts
             ));
         }
         out.push_str("]}");
@@ -356,5 +420,59 @@ mod tests {
         let json = t.export_chrome_json();
         assert!(json.contains("\"traceEvents\":[]"));
         mini_json::parse(&json).expect("empty export must still be valid JSON");
+    }
+
+    fn ctr(ts: Cycle, value: u64) -> CounterEvent {
+        CounterEvent { name: "mem_read_bytes", cat: "mem", pid: 300, ts, value }
+    }
+
+    #[test]
+    fn counter_ring_overwrites_oldest_and_respects_window() {
+        let mut t = EventTracer::with_window(3, 100, 300);
+        t.record_counter(ctr(50, 1)); // before window: dropped silently
+        t.record_counter(ctr(300, 1)); // at end: excluded
+        for i in 0..5 {
+            t.record_counter(ctr(100 + i * 10, i));
+        }
+        assert_eq!(t.dropped(), 2, "two overwrites once the counter ring filled");
+        let ts: Vec<Cycle> = t.counter_samples().iter().map(|c| c.ts).collect();
+        assert_eq!(ts, vec![120, 130, 140]);
+        // Span events ride a separate ring: recording one evicts no counter.
+        t.record(ev(150, 5));
+        assert_eq!(t.counter_samples().len(), 3);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn chrome_export_emits_counter_events() {
+        let mut t = EventTracer::new(8);
+        t.record(ev(240, 120));
+        t.record_counter(ctr(4096, 640));
+        let json = t.export_chrome_json();
+        let v = mini_json::parse(&json).expect("counter export must be valid JSON");
+        let mini_json::Value::Obj(top) = v else { panic!("top level must be an object") };
+        let (_, mini_json::Value::Arr(events)) =
+            top.iter().find(|(k, _)| k == "traceEvents").expect("traceEvents key required")
+        else {
+            panic!("traceEvents must be an array")
+        };
+        assert_eq!(events.len(), 2, "one span + one counter");
+        let mini_json::Value::Obj(fields) = &events[1] else { panic!("counter must be an object") };
+        let get = |k: &str| fields.iter().find(|(f, _)| f == k).map(|(_, v)| v);
+        assert_eq!(get("ph"), Some(&mini_json::Value::Str("C".into())));
+        assert_eq!(get("name"), Some(&mini_json::Value::Str("mem_read_bytes".into())));
+        assert_eq!(get("pid"), Some(&mini_json::Value::Num(300.0)));
+        let Some(mini_json::Value::Obj(args)) = get("args") else { panic!("args required") };
+        let arg = |k: &str| args.iter().find(|(f, _)| f == k).map(|(_, v)| v);
+        assert_eq!(arg("value"), Some(&mini_json::Value::Num(640.0)));
+        assert_eq!(arg("cycle"), Some(&mini_json::Value::Num(4096.0)));
+    }
+
+    #[test]
+    fn counters_alone_export_without_leading_comma() {
+        let mut t = EventTracer::new(4);
+        t.record_counter(ctr(0, 7));
+        let json = t.export_chrome_json();
+        mini_json::parse(&json).expect("counter-only export must be valid JSON");
     }
 }

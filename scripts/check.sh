@@ -26,10 +26,16 @@ cargo clippy --offline --workspace --all-targets -- \
   -D clippy::large_types_passed_by_value \
   -D clippy::needless_pass_by_value
 
+echo "== checkpoint-stats =="
+# Prefill checkpoint smoke test: two identical runs, the second must
+# restore from the content-addressed store (exits non-zero otherwise) and
+# the hit-rate line below is the sweep-speedup evidence in miniature.
+cargo run -q --offline --release --bin coaxial -- checkpoint-stats mcf --instr 8000 --warmup 2000
+
 echo "== coaxial-lint =="
 # Workspace static analysis: determinism (D01/D02), timing arithmetic
 # (T01/T02), zero-cost telemetry (Z01), unsafe hygiene (U01), and the
-# cross-file coverage rules (C01, E01/E02, M01) over the symbol graph.
+# cross-file coverage rules (C01, E01/E02/E03, M01) over the symbol graph.
 # Suppressions live in lint-allow.toml; the rule catalog is docs/LINTS.md.
 # CI always runs the full scan; `--changed-only` exists for local loops.
 lint_start=$SECONDS

@@ -11,6 +11,7 @@
 //! coaxial profile <workload> [--ops N]       # characterize a generator
 //! coaxial capture <workload> <file> [--ops N]
 //! coaxial replay <file> [opts]            # run a captured .cxtr trace
+//! coaxial checkpoint-stats [workload] [opts] # prefill checkpoint hit rate over two runs
 //!
 //! common options:
 //!   --config <name>   ddr | 2x | 4x | 5x | asym        (default: 4x)
@@ -65,7 +66,7 @@ fn usage() -> ! {
         include_str!("coaxial.rs")
             .lines()
             .skip(2)
-            .take(22)
+            .take(23)
             .map(|l| l.trim_start_matches("//! "))
             .collect::<Vec<_>>()
             .join("\n")
@@ -193,8 +194,8 @@ fn main() {
                     cfg.name,
                     cfg.ddr_channels(),
                     cfg.peak_bandwidth_gbs(),
-                    cfg.llc_mb_per_core,
-                    cfg.calm.label()
+                    cfg.functional.llc_mb_per_core,
+                    cfg.timing.calm.label()
                 );
             }
         }
@@ -352,6 +353,65 @@ fn main() {
                 },
             );
             println!("captured {} ops of {wl} to {path}", o.ops);
+        }
+        "checkpoint-stats" => {
+            // Same config + workload twice: the first run populates the
+            // prefill checkpoint stores, the second must restore. Exits
+            // non-zero if it does not, so check.sh doubles as a smoke test
+            // of the content-addressed store.
+            let (wl, rest) = match args.get(1) {
+                Some(a) if !a.starts_with("--") => (a.as_str(), &args[2..]),
+                _ => ("mcf", &args[1..]),
+            };
+            let o = parse_opts(rest);
+            let w = workload(wl);
+            let run = || {
+                let t = std::time::Instant::now();
+                let (_, _, m) = Simulation::new(build_config(&o), w)
+                    .instructions_per_core(o.instr)
+                    .warmup(o.warmup)
+                    .run_with_telemetry(TelemetryRecorder::new());
+                (m, t.elapsed())
+            };
+            let (cold, cold_wall) = run();
+            let (warm, warm_wall) = run();
+            let ms = |m: &coaxial::telemetry::MetricsRegistry, p: &str| {
+                m.counter(p).unwrap_or(0) as f64 / 1e6
+            };
+            println!("checkpoint stats: {wl} on {} (two identical runs)", build_config(&o).name);
+            for (label, m, wall) in [("cold", &cold, cold_wall), ("warm", &warm, warm_wall)] {
+                println!(
+                    "{label}: wall {:>7.1} ms, prefill {:>7.1} ms (loop {:>7.1} ms), restored={}",
+                    wall.as_secs_f64() * 1e3,
+                    ms(m, "server.prefill.wall_ns"),
+                    ms(m, "server.prefill.loop_wall_ns"),
+                    m.counter("server.prefill.restored").unwrap_or(0)
+                );
+            }
+            for store in ["state", "streams"] {
+                let c = |name: &str| {
+                    warm.counter(&format!("server.checkpoint.{store}.{name}")).unwrap_or(0)
+                };
+                let (mem, disk, miss) = (c("mem_hits"), c("disk_hits"), c("misses"));
+                let lookups = mem + disk + miss;
+                println!(
+                    "{store:<7} store: {lookups} lookups — {mem} mem / {disk} disk hits, \
+                     {miss} misses ({:.0}% hit), {} inserts, {} evictions, {} disk errors",
+                    if lookups == 0 { 0.0 } else { (mem + disk) as f64 * 100.0 / lookups as f64 },
+                    c("inserts"),
+                    c("evictions"),
+                    c("disk_errors")
+                );
+                println!(
+                    "               {:.0} entries resident, {:.1} MB",
+                    warm.gauge(&format!("server.checkpoint.{store}.entries")).unwrap_or(0.0),
+                    warm.gauge(&format!("server.checkpoint.{store}.bytes")).unwrap_or(0.0) / 1e6
+                );
+            }
+            if warm.counter("server.prefill.restored") != Some(1) {
+                eprintln!("checkpoint-stats: second run did not restore from the store");
+                exit(1);
+            }
         }
         "replay" => {
             let Some(path) = args.get(1) else { usage() };

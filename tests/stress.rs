@@ -80,7 +80,11 @@ fn tiny_queues_do_not_deadlock_cxl() {
 
 #[test]
 fn full_system_survives_tiny_memory_queues() {
-    let cfg = SystemConfig { dram: tiny_dram(), ..SystemConfig::coaxial_4x() };
+    let cfg = {
+        let mut c = SystemConfig::coaxial_4x();
+        c.timing.dram = tiny_dram();
+        c
+    };
     let w = Workload::by_name("lbm").unwrap();
     let r = Simulation::new(cfg, w).instructions_per_core(2_000).warmup(300).run();
     assert!(r.ipc > 0.0, "progress despite extreme back-pressure");
