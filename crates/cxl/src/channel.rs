@@ -59,6 +59,16 @@ pub struct CxlChannel {
     /// Busy-cycle accounting for link utilization.
     pub tx_busy: u64,
     pub rx_busy: u64,
+    /// Cycles the TX head-of-queue sat ready behind an idle serializer
+    /// waiting *only* for a flow-control credit (link-pressure signal,
+    /// exported as `cxl.port.credit_wait_cycles`). Measured as interval
+    /// arithmetic at TX start — `start - max(tx_free_at, tx_front_since)`
+    /// — so both run-loop engines account identically regardless of
+    /// which cycles they actually tick.
+    pub credit_wait_cycles: u64,
+    /// Cycle at which the current head-of-queue became eligible for the
+    /// TX serializer (set on enqueue-to-empty and after each TX start).
+    tx_front_since: Cycle,
     now: Cycle,
     window_start: Cycle,
     /// Cached no-op horizon for the link stages 2–6: they are provably
@@ -91,6 +101,8 @@ impl CxlChannel {
             credit_returns: VecDeque::new(),
             tx_busy: 0,
             rx_busy: 0,
+            credit_wait_cycles: 0,
+            tx_front_since: 0,
             now: 0,
             window_start: 0,
             idle_until: 0,
@@ -104,7 +116,13 @@ impl CxlChannel {
 
     /// Accept a request into the CPU-side queue.
     pub fn try_enqueue(&mut self, req: MemRequest) -> Result<(), MemRequest> {
+        let was_empty = self.req_queue.is_empty();
         let r = self.req_queue.try_push(req);
+        if r.is_ok() && was_empty {
+            // This request is the new TX head; it can start no earlier
+            // than the next tick (same convention as the idle horizon).
+            self.tx_front_since = self.now + 1;
+        }
         if r.is_ok() && self.credits > 0 {
             // The TX serializer may now have work before the cached link
             // horizon; lower it to the serializer-free cycle (O(1)). With
@@ -208,11 +226,17 @@ impl CxlChannel {
                 } else {
                     self.cfg.tx_header_cycles
                 };
+                // Any start delay beyond the serializer-free/head-ready
+                // bound can only have been a missing credit (the one
+                // other gate on this stage).
+                self.credit_wait_cycles +=
+                    now.saturating_sub(self.tx_free_at.max(self.tx_front_since));
                 self.tx_free_at = now + occ;
                 self.tx_busy += occ;
                 let arrives_at = now + occ + 2 * self.cfg.port_latency;
                 self.req_queue.pop();
                 self.credits -= 1;
+                self.tx_front_since = now + 1;
                 self.tx_in_flight.push_back(InFlight { arrives_at, payload: req });
                 did = true;
             }
@@ -287,6 +311,10 @@ impl CxlChannel {
     pub fn reset_stats(&mut self, now: Cycle) {
         self.tx_busy = 0;
         self.rx_busy = 0;
+        self.credit_wait_cycles = 0;
+        // Don't let pre-window head-of-queue waiting leak into the new
+        // measurement window.
+        self.tx_front_since = self.tx_front_since.max(now);
         self.window_start = now;
         for d in &mut self.ddr {
             d.reset_stats(now);
@@ -473,6 +501,49 @@ mod tests {
             ch.tick(now);
         }
         assert_eq!(ch.credits(), total_credits, "all credits returned at quiescence");
+    }
+
+    #[test]
+    fn unloaded_traffic_never_waits_on_credits() {
+        let mut ch = channel();
+        // Far fewer outstanding requests than device-buffer credits (32):
+        // TX may queue behind its own serializer, never behind credits.
+        for i in 0..8u64 {
+            ch.try_enqueue(MemRequest::read(i, i * 313, 0)).unwrap();
+        }
+        let resps = run_to_completion(&mut ch, 8, 100_000);
+        assert_eq!(resps.len(), 8);
+        assert_eq!(ch.credit_wait_cycles, 0, "unloaded link must not report credit pressure");
+    }
+
+    #[test]
+    fn saturating_read_stream_stalls_on_credits() {
+        // Reads serialize onto TX in 3 cycles but drain through the device
+        // DDR slower than that, so the device buffer fills, all 32 credits
+        // go outstanding, and the TX head must wait for returns.
+        let mut ch = channel();
+        let mut issued = 0u64;
+        let mut got = 0u64;
+        let total = 300u64;
+        for now in 0..2_000_000u64 {
+            ch.tick(now);
+            while issued < total && ch.can_accept() {
+                ch.try_enqueue(MemRequest::read(issued, issued * 61, now)).unwrap();
+                issued += 1;
+            }
+            while ch.pop_response().is_some() {
+                got += 1;
+            }
+            if got == total {
+                break;
+            }
+        }
+        assert_eq!(got, total);
+        assert!(
+            ch.credit_wait_cycles > 0,
+            "a saturating stream must register credit waits, got {}",
+            ch.credit_wait_cycles
+        );
     }
 
     #[test]

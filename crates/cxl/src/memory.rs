@@ -63,15 +63,24 @@ impl CxlMemory {
     /// Export per-channel link + device-DDR metrics under `prefix`
     /// (`{prefix}.ch{i}.link.*` and `{prefix}.ch{i}.ddr.*`).
     pub fn export_metrics(&self, reg: &mut coaxial_telemetry::MetricsRegistry, prefix: &str) {
+        let mut credit_wait = 0u64;
         for (i, c) in self.channels.iter().enumerate() {
             let (tx, rx) = c.link_utilization(c.window_cycles());
             reg.set_gauge(&format!("{prefix}.ch{i}.link.tx_utilization"), tx);
             reg.set_gauge(&format!("{prefix}.ch{i}.link.rx_utilization"), rx);
+            reg.set_counter(
+                &format!("{prefix}.ch{i}.port.credit_wait_cycles"),
+                c.credit_wait_cycles,
+            );
+            credit_wait += c.credit_wait_cycles;
             c.ddr_stats().export_metrics(reg, &format!("{prefix}.ch{i}.ddr"));
         }
         let (tx, rx) = self.link_utilization();
         reg.set_gauge(&format!("{prefix}.link.tx_utilization"), tx);
         reg.set_gauge(&format!("{prefix}.link.rx_utilization"), rx);
+        // Aggregate link-pressure signal (ROADMAP telemetry item): cycles
+        // TX heads spent blocked on flow-control credits alone.
+        reg.set_counter("cxl.port.credit_wait_cycles", credit_wait);
         self.stats().export_metrics(reg, &format!("{prefix}.ddr_total"));
     }
 }

@@ -1,0 +1,230 @@
+//! Minimal HTTP/1.1 on `std::net::TcpStream`: request parsing, fixed and
+//! chunked responses, and a tiny client (`coaxial http ...`) so scripts
+//! work on hosts without `curl`. Every response is `Connection: close` —
+//! one request per connection keeps the server loop trivial and is plenty
+//! for a simulation gateway whose requests run for seconds.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Cap on request bodies: a sweep over every workload × config is ~4 KB;
+/// anything near this limit is abuse, not simulation.
+const MAX_BODY_BYTES: u64 = 1 << 20;
+
+/// One parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    pub method: String,
+    /// Path only (any `?query` is split off and ignored).
+    pub path: String,
+    /// Header names lowercased.
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+
+    /// Read one request from the stream (no keep-alive).
+    pub fn read_from(stream: &mut BufReader<TcpStream>) -> std::io::Result<Request> {
+        let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
+        let mut line = String::new();
+        stream.read_line(&mut line)?;
+        let mut parts = line.split_whitespace();
+        let method = parts.next().ok_or_else(|| bad("empty request line"))?.to_string();
+        let target = parts.next().ok_or_else(|| bad("missing request target"))?;
+        let path = target.split('?').next().unwrap_or(target).to_string();
+
+        let mut headers = Vec::new();
+        loop {
+            let mut h = String::new();
+            stream.read_line(&mut h)?;
+            let h = h.trim_end();
+            if h.is_empty() {
+                break;
+            }
+            if let Some((k, v)) = h.split_once(':') {
+                headers.push((k.trim().to_ascii_lowercase(), v.trim().to_string()));
+            }
+        }
+
+        let len: u64 = headers
+            .iter()
+            .find(|(k, _)| k == "content-length")
+            .and_then(|(_, v)| v.parse().ok())
+            .unwrap_or(0);
+        if len > MAX_BODY_BYTES {
+            return Err(bad("request body too large"));
+        }
+        let mut body = vec![0u8; coaxial_sim::idx(len)];
+        stream.read_exact(&mut body)?;
+        Ok(Request { method, path, headers, body })
+    }
+}
+
+/// Write a complete fixed-length response and flush.
+pub fn respond(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+    body: &[u8],
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: close\r\n",
+        status_text(status),
+        body.len()
+    );
+    for (k, v) in extra_headers {
+        head.push_str(&format!("{k}: {v}\r\n"));
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Streaming response writer (`Transfer-Encoding: chunked`), used by the
+/// job-progress endpoint to push newline-delimited JSON as work proceeds.
+pub struct ChunkedWriter<'a> {
+    stream: &'a mut TcpStream,
+}
+
+impl<'a> ChunkedWriter<'a> {
+    pub fn start(
+        stream: &'a mut TcpStream,
+        status: u16,
+        content_type: &str,
+    ) -> std::io::Result<Self> {
+        let head = format!(
+            "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ntransfer-encoding: chunked\r\nconnection: close\r\n\r\n",
+            status_text(status)
+        );
+        stream.write_all(head.as_bytes())?;
+        Ok(Self { stream })
+    }
+
+    pub fn chunk(&mut self, data: &[u8]) -> std::io::Result<()> {
+        if data.is_empty() {
+            return Ok(()); // an empty chunk would terminate the stream
+        }
+        self.stream.write_all(format!("{:x}\r\n", data.len()).as_bytes())?;
+        self.stream.write_all(data)?;
+        self.stream.write_all(b"\r\n")?;
+        self.stream.flush()
+    }
+
+    pub fn finish(self) -> std::io::Result<()> {
+        self.stream.write_all(b"0\r\n\r\n")?;
+        self.stream.flush()
+    }
+}
+
+pub fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// A client response: status line code, headers (lowercased names), and
+/// the body with any chunked transfer coding already decoded.
+#[derive(Debug)]
+pub struct ClientResponse {
+    pub status: u16,
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+
+    pub fn body_str(&self) -> std::borrow::Cow<'_, str> {
+        String::from_utf8_lossy(&self.body)
+    }
+}
+
+/// Issue one `METHOD path` request against `host:port` and read the full
+/// response. `url` accepts `http://host:port/path` or `host:port/path`.
+pub fn client_request(method: &str, url: &str, body: &[u8]) -> std::io::Result<ClientResponse> {
+    let bad = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidInput, msg);
+    let rest = url.strip_prefix("http://").unwrap_or(url);
+    let (host, path) = match rest.find('/') {
+        Some(i) => (&rest[..i], &rest[i..]),
+        None => (rest, "/"),
+    };
+    let mut stream = TcpStream::connect(host).map_err(|e| bad(format!("connect {host}: {e}")))?;
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nhost: {host}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()?;
+
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad(format!("bad status line {status_line:?}")))?;
+
+    let mut headers = Vec::new();
+    loop {
+        let mut h = String::new();
+        reader.read_line(&mut h)?;
+        let h = h.trim_end();
+        if h.is_empty() {
+            break;
+        }
+        if let Some((k, v)) = h.split_once(':') {
+            headers.push((k.trim().to_ascii_lowercase(), v.trim().to_string()));
+        }
+    }
+
+    let chunked =
+        headers.iter().any(|(k, v)| k == "transfer-encoding" && v.eq_ignore_ascii_case("chunked"));
+    let body = if chunked {
+        let mut out = Vec::new();
+        loop {
+            let mut size_line = String::new();
+            reader.read_line(&mut size_line)?;
+            let size = usize::from_str_radix(size_line.trim(), 16)
+                .map_err(|e| bad(format!("bad chunk size {size_line:?}: {e}")))?;
+            if size == 0 {
+                let mut trailer = String::new();
+                reader.read_line(&mut trailer)?;
+                break;
+            }
+            let mut chunk = vec![0u8; size];
+            reader.read_exact(&mut chunk)?;
+            out.extend_from_slice(&chunk);
+            let mut crlf = [0u8; 2];
+            reader.read_exact(&mut crlf)?;
+        }
+        out
+    } else {
+        let len: usize = headers
+            .iter()
+            .find(|(k, _)| k == "content-length")
+            .and_then(|(_, v)| v.parse().ok())
+            .unwrap_or(0);
+        let mut out = vec![0u8; len];
+        reader.read_exact(&mut out)?;
+        out
+    };
+    Ok(ClientResponse { status, headers, body })
+}

@@ -1,0 +1,112 @@
+//! Canonical JSON rendering of a [`RunReport`].
+//!
+//! This is the single serializer behind both `coaxial run --json` and the
+//! gateway's `/v1/run` response, so the two are byte-identical by
+//! construction — the loopback integration test and the `check.sh` smoke
+//! test both `cmp` the CLI's stdout against the served body.
+
+use std::fmt::Write as _;
+
+use coaxial_system::RunReport;
+
+use crate::json::{emit_f64, escape};
+
+/// Render one report as a single-line JSON object (no trailing newline;
+/// callers terminate the line).
+#[must_use]
+pub fn report_to_json(r: &RunReport) -> String {
+    let mut out = String::with_capacity(512);
+    out.push('{');
+    let _ = write!(out, "\"config\":\"{}\"", escape(&r.config_name));
+    let _ = write!(
+        out,
+        ",\"workloads\":[{}]",
+        r.workload_names.iter().map(|w| format!("\"{}\"", escape(w))).collect::<Vec<_>>().join(",")
+    );
+    let _ = write!(out, ",\"ipc\":{}", emit_f64(r.ipc));
+    let _ = write!(
+        out,
+        ",\"per_core_ipc\":[{}]",
+        r.per_core_ipc.iter().map(|&v| emit_f64(v)).collect::<Vec<_>>().join(",")
+    );
+    let _ = write!(out, ",\"mpki\":{}", emit_f64(r.mpki));
+    let (on_chip, queue, dram, cxl) = r.breakdown_ns;
+    let _ = write!(out, ",\"l2_miss_latency_ns\":{}", emit_f64(r.l2_miss_latency_ns));
+    let _ = write!(
+        out,
+        ",\"breakdown_ns\":{{\"on_chip\":{},\"queue\":{},\"dram\":{},\"cxl\":{}}}",
+        emit_f64(on_chip),
+        emit_f64(queue),
+        emit_f64(dram),
+        emit_f64(cxl)
+    );
+    let _ = write!(out, ",\"read_gbs\":{}", emit_f64(r.read_gbs));
+    let _ = write!(out, ",\"write_gbs\":{}", emit_f64(r.write_gbs));
+    let _ = write!(out, ",\"bandwidth_gbs\":{}", emit_f64(r.bandwidth_gbs));
+    let _ = write!(out, ",\"utilization\":{}", emit_f64(r.utilization));
+    let _ = write!(out, ",\"llc_miss_ratio\":{}", emit_f64(r.llc_miss_ratio));
+    match r.cxl_link_utilization {
+        Some((tx, rx)) => {
+            let _ = write!(
+                out,
+                ",\"cxl_link_utilization\":{{\"tx\":{},\"rx\":{}}}",
+                emit_f64(tx),
+                emit_f64(rx)
+            );
+        }
+        None => out.push_str(",\"cxl_link_utilization\":null"),
+    }
+    let _ = write!(
+        out,
+        ",\"calm\":{{\"decisions\":{},\"false_pos\":{},\"false_neg\":{},\
+         \"fp_per_mem_access\":{},\"fn_per_llc_miss\":{}}}",
+        r.calm.decisions(),
+        r.calm.false_pos,
+        r.calm.false_neg,
+        emit_f64(r.calm.false_pos_per_mem_access()),
+        emit_f64(r.calm.false_neg_per_llc_miss())
+    );
+    let _ = write!(out, ",\"cycles\":{}", r.cycles);
+    let _ = write!(out, ",\"instructions\":{}", r.instructions);
+    out.push('}');
+    out
+}
+
+/// Render a batch of reports (sweep response) as a JSON array.
+#[must_use]
+pub fn reports_to_json(reports: &[RunReport]) -> String {
+    let mut out = String::from("[");
+    for (i, r) in reports.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&report_to_json(r));
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coaxial_system::{Simulation, SystemConfig};
+
+    #[test]
+    fn report_json_is_valid_and_stable() {
+        let w = coaxial_workloads::Workload::by_name("mcf").unwrap();
+        let sim =
+            Simulation::new(SystemConfig::coaxial_4x(), w).instructions_per_core(2_000).warmup(500);
+        let r = sim.run();
+        let a = report_to_json(&r);
+        // Parseable by our own parser, and deterministic.
+        let parsed = crate::json::parse(&a).unwrap();
+        let crate::json::Json::Obj(o) = &parsed else { panic!("object") };
+        assert_eq!(o["config"].as_str(), Some("COAXIAL-4x"));
+        assert!(o.contains_key("ipc") && o.contains_key("cycles"), "{a}");
+        let again = Simulation::new(SystemConfig::coaxial_4x(), w)
+            .instructions_per_core(2_000)
+            .warmup(500)
+            .run();
+        assert_eq!(a, report_to_json(&again), "same config+budget must serialize identically");
+    }
+}

@@ -1,0 +1,476 @@
+//! The serve loop: listener, worker pool, request routing, and graceful
+//! shutdown.
+//!
+//! One thread accepts connections (non-blocking + short sleep so it can
+//! observe the shutdown flags); each connection is handled on its own
+//! thread (requests block for seconds on simulations, so a handler
+//! thread per connection is the simple and correct shape); `workers`
+//! dedicated threads drain the job queue. SIGTERM and `POST /shutdown`
+//! both flip [`Gateway::draining`]: admission starts answering 503, the
+//! queue drains, and the process exits once no work remains — an
+//! accepted job is never dropped.
+
+use std::io::BufReader;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use coaxial_system::runner::RunSpec;
+use coaxial_telemetry::TelemetryRecorder;
+
+use crate::http::{respond, ChunkedWriter, Request};
+use crate::json::escape;
+use crate::report::{report_to_json, reports_to_json};
+use crate::request::{parse_run, parse_sweep};
+use crate::state::{Admission, Gateway, Job, JobKind, JobStatus};
+use crate::GatewayConfig;
+
+/// Flipped by the SIGTERM handler; polled by the accept loop.
+static SIGTERM_SEEN: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+fn install_sigterm_handler() {
+    extern "C" fn on_sigterm(_signum: i32) {
+        SIGTERM_SEEN.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGTERM: i32 = 15;
+    // SAFETY: `signal(2)` with a handler that only performs an atomic
+    // store is async-signal-safe; no Rust state is touched from the
+    // handler and the symbol is provided by libc on every unix target.
+    unsafe {
+        signal(SIGTERM, on_sigterm);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_sigterm_handler() {}
+
+/// Final tallies returned by [`serve`] after a graceful shutdown.
+#[derive(Debug, Clone, Copy)]
+pub struct GatewayStats {
+    pub requests_total: u64,
+    pub jobs_completed: u64,
+    pub jobs_failed: u64,
+    pub dedup_joins: u64,
+    pub queue_rejected: u64,
+}
+
+/// Run the gateway until SIGTERM or `POST /shutdown`, then drain and
+/// return the final counters. Blocks the calling thread.
+pub fn serve(cfg: GatewayConfig) -> std::io::Result<GatewayStats> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    listener.set_nonblocking(true)?;
+    let local = listener.local_addr()?;
+    if let Some(path) = &cfg.port_file {
+        // Tmp+rename so a polling reader never sees a half-written line.
+        let tmp = path.with_extension(format!("tmp{}", std::process::id()));
+        std::fs::write(&tmp, format!("{local}\n"))?;
+        std::fs::rename(&tmp, path)?;
+    }
+    install_sigterm_handler();
+    eprintln!("coaxial-gateway listening on http://{local} ({} workers)", cfg.workers);
+
+    let gw = Arc::new(Gateway::new(cfg));
+    std::thread::scope(|scope| {
+        for _ in 0..gw.cfg.workers {
+            let gw = Arc::clone(&gw);
+            scope.spawn(move || worker_loop(&gw));
+        }
+
+        let mut handlers: Vec<std::thread::ScopedJoinHandle<'_, ()>> = Vec::new();
+        loop {
+            if SIGTERM_SEEN.load(Ordering::SeqCst) {
+                begin_drain(&gw);
+            }
+            if gw.stopped.load(Ordering::SeqCst) {
+                break;
+            }
+            // A drain with an empty queue can finish with no further
+            // traffic; check here rather than only on request paths.
+            if gw.draining.load(Ordering::SeqCst) {
+                let inner = gw.inner.lock().expect("gateway lock poisoned");
+                if gw.drained(&inner) {
+                    drop(inner);
+                    gw.stopped.store(true, Ordering::SeqCst);
+                    gw.work_cv.notify_all();
+                    break;
+                }
+            }
+            match listener.accept() {
+                Ok((stream, peer)) => {
+                    let gw = Arc::clone(&gw);
+                    handlers.retain(|h| !h.is_finished());
+                    handlers.push(scope.spawn(move || {
+                        handle_connection(&gw, stream, &peer.ip().to_string());
+                    }));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => {
+                    eprintln!("gateway: accept failed: {e}");
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+            }
+        }
+        // Workers exit once drained; handler threads finish their
+        // (already answered or about-to-be-answered) connections.
+        gw.work_cv.notify_all();
+    });
+
+    Ok(GatewayStats {
+        requests_total: gw.requests_total.load(Ordering::Relaxed),
+        jobs_completed: gw.jobs_completed.load(Ordering::Relaxed),
+        jobs_failed: gw.jobs_failed.load(Ordering::Relaxed),
+        dedup_joins: gw.dedup_joins.load(Ordering::Relaxed),
+        queue_rejected: gw.queue_rejected.load(Ordering::Relaxed),
+    })
+}
+
+/// Enter drain mode (idempotent): stop admitting, let the queue empty.
+fn begin_drain(gw: &Gateway) {
+    if !gw.draining.swap(true, Ordering::SeqCst) {
+        eprintln!("coaxial-gateway: draining ({} queued)", {
+            gw.inner.lock().expect("gateway lock poisoned").queue.len()
+        });
+    }
+    gw.work_cv.notify_all();
+}
+
+/// One simulation worker: pop, execute outside the lock, publish.
+fn worker_loop(gw: &Gateway) {
+    loop {
+        let (id, kind, trace_requested, progress) = {
+            let mut inner = gw.inner.lock().expect("gateway lock poisoned");
+            loop {
+                if let Some(id) = inner.queue.pop_front() {
+                    inner.running += 1;
+                    let job = inner.jobs.get_mut(&id).expect("queued job exists");
+                    job.status = JobStatus::Running;
+                    // Move the specs out for execution; the job keeps its
+                    // metadata. `total` etc. stay readable while we run.
+                    let kind = std::mem::replace(&mut job.kind, JobKind::Sweep(Vec::new()));
+                    break (id, kind, job.trace_requested, Arc::clone(&job.progress));
+                }
+                if gw.draining.load(Ordering::SeqCst) || gw.stopped.load(Ordering::SeqCst) {
+                    return;
+                }
+                inner = gw.work_cv.wait(inner).expect("gateway lock poisoned");
+            }
+        };
+
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            execute(&kind, trace_requested, &progress)
+        }));
+
+        let mut inner = gw.inner.lock().expect("gateway lock poisoned");
+        inner.running -= 1;
+        let job = inner.jobs.get_mut(&id).expect("running job exists");
+        job.kind = kind;
+        let key = job.key;
+        let mut cache_insert = None;
+        match outcome {
+            Ok((body, trace)) => {
+                let body = Arc::new(body.into_bytes());
+                cache_insert = Some((key, Arc::clone(&body), body.len() as u64));
+                job.body = Some(body);
+                job.trace = trace.map(|t| Arc::new(t.into_bytes()));
+                job.status = JobStatus::Done;
+                gw.jobs_completed.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(panic) => {
+                let msg = panic
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .or_else(|| panic.downcast_ref::<&str>().copied())
+                    .unwrap_or("simulation panicked");
+                job.status = JobStatus::Failed(msg.to_string());
+                gw.jobs_failed.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        if let Some((key, body, bytes)) = cache_insert {
+            inner.cache.insert(key, body, bytes);
+        }
+        inner.inflight.remove(&key);
+        drop(inner);
+        gw.done_cv.notify_all();
+    }
+}
+
+/// Run the simulation(s) for one job. Returns `(response body, trace)`.
+fn execute(kind: &JobKind, trace: bool, progress: &AtomicU64) -> (String, Option<String>) {
+    match kind {
+        JobKind::Run(spec) => {
+            let (report, trace_json) = run_one(spec, trace);
+            progress.fetch_add(1, Ordering::Relaxed);
+            (report_to_json(&report) + "\n", trace_json)
+        }
+        JobKind::Sweep(specs) => {
+            // Fan out over the run pool; each finished config ticks the
+            // progress counter streamed by `GET /v1/jobs/{id}`.
+            let reports = coaxial_system::runner::parallel_map(specs, |spec| {
+                let (report, _) = run_one(spec, false);
+                progress.fetch_add(1, Ordering::Relaxed);
+                report
+            });
+            (reports_to_json(&reports) + "\n", None)
+        }
+    }
+}
+
+/// Execute one [`RunSpec`], optionally capturing a Perfetto trace.
+fn run_one(spec: &RunSpec, trace: bool) -> (coaxial_system::RunReport, Option<String>) {
+    if trace {
+        let rec = TelemetryRecorder::new().with_trace_window(65_536, 0, u64::MAX);
+        let (report, rec, _metrics) = spec.simulation().run_with_telemetry(rec);
+        (report, Some(rec.tracer.export_chrome_json()))
+    } else {
+        (spec.run(), None)
+    }
+}
+
+/// Parse and answer one connection (one request: `Connection: close`).
+fn handle_connection(gw: &Gateway, stream: TcpStream, client: &str) {
+    let started = Instant::now();
+    let mut reader = BufReader::new(stream);
+    let req = match Request::read_from(&mut reader) {
+        Ok(req) => req,
+        Err(_) => return, // client hung up or sent garbage pre-headers
+    };
+    let mut stream = reader.into_inner();
+    gw.requests_total.fetch_add(1, Ordering::Relaxed);
+    let _ = route(gw, &mut stream, &req, client);
+    let us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+    gw.latency_us.record(us);
+}
+
+fn err_body(msg: &str) -> Vec<u8> {
+    format!("{{\"error\":\"{}\"}}\n", escape(msg)).into_bytes()
+}
+
+fn route(gw: &Gateway, stream: &mut TcpStream, req: &Request, client: &str) -> std::io::Result<()> {
+    const JSON: &str = "application/json";
+    const TEXT: &str = "text/plain; charset=utf-8";
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => respond(stream, 200, TEXT, &[], b"ok\n"),
+        ("GET", "/metrics") => {
+            let text = gw.metrics_registry().render(None);
+            respond(stream, 200, TEXT, &[], text.as_bytes())
+        }
+        ("POST", "/v1/run") => match parse_run(&req.body) {
+            Ok(r) => submit(
+                gw,
+                stream,
+                client,
+                r.key,
+                JobKind::Run(Box::new(r.spec)),
+                r.trace,
+                1,
+                r.background,
+            ),
+            Err(msg) => respond(stream, 400, JSON, &[], &err_body(&msg)),
+        },
+        ("POST", "/v1/sweep") => match parse_sweep(&req.body) {
+            Ok(s) => {
+                let total = s.specs.len() as u64;
+                submit(
+                    gw,
+                    stream,
+                    client,
+                    s.key,
+                    JobKind::Sweep(s.specs),
+                    false,
+                    total,
+                    s.background,
+                )
+            }
+            Err(msg) => respond(stream, 400, JSON, &[], &err_body(&msg)),
+        },
+        ("POST", "/shutdown") => {
+            begin_drain(gw);
+            wait_drained(gw);
+            respond(stream, 200, JSON, &[], b"{\"status\":\"drained\"}\n")?;
+            gw.stopped.store(true, Ordering::SeqCst);
+            gw.work_cv.notify_all();
+            Ok(())
+        }
+        ("GET", path) if path.starts_with("/v1/jobs/") => job_endpoint(gw, stream, path),
+        (_, "/healthz" | "/metrics" | "/v1/run" | "/v1/sweep" | "/shutdown") => {
+            respond(stream, 405, JSON, &[], &err_body("method not allowed"))
+        }
+        _ => respond(stream, 404, JSON, &[], &err_body("not found")),
+    }
+}
+
+/// Admission + response for run/sweep submissions.
+#[allow(clippy::too_many_arguments)]
+fn submit(
+    gw: &Gateway,
+    stream: &mut TcpStream,
+    client: &str,
+    key: u128,
+    kind: JobKind,
+    trace: bool,
+    total: u64,
+    background: bool,
+) -> std::io::Result<()> {
+    const JSON: &str = "application/json";
+    if !gw.admit_client(client) {
+        return respond(
+            stream,
+            429,
+            JSON,
+            &[("retry-after", "1")],
+            &err_body("rate limit exceeded"),
+        );
+    }
+    let id = match gw.admit(key, kind, trace, total) {
+        Admission::Cached(body) => return respond(stream, 200, JSON, &[], &body),
+        Admission::QueueFull => {
+            return respond(stream, 429, JSON, &[("retry-after", "2")], &err_body("job queue full"))
+        }
+        Admission::Draining => {
+            return respond(stream, 503, JSON, &[], &err_body("gateway is draining"))
+        }
+        Admission::Joined(id) | Admission::Enqueued(id) => id,
+    };
+    if background {
+        let body = format!("{{\"job\":{id}}}\n");
+        return respond(stream, 202, JSON, &[], body.as_bytes());
+    }
+    // Blocking delivery: wait for the (possibly shared) job to finish.
+    let mut inner = gw.inner.lock().expect("gateway lock poisoned");
+    loop {
+        let job = inner.jobs.get(&id).expect("admitted job exists");
+        match &job.status {
+            JobStatus::Done => {
+                let body = Arc::clone(job.body.as_ref().expect("done job has a body"));
+                drop(inner);
+                return respond(stream, 200, JSON, &[], &body);
+            }
+            JobStatus::Failed(msg) => {
+                let body = err_body(msg);
+                drop(inner);
+                return respond(stream, 500, JSON, &[], &body);
+            }
+            JobStatus::Queued | JobStatus::Running => {
+                inner = gw.done_cv.wait(inner).expect("gateway lock poisoned");
+            }
+        }
+    }
+}
+
+/// `GET /v1/jobs/{id}[/result|/trace]`.
+fn job_endpoint(gw: &Gateway, stream: &mut TcpStream, path: &str) -> std::io::Result<()> {
+    const JSON: &str = "application/json";
+    let rest = &path["/v1/jobs/".len()..];
+    let (id_text, tail) = match rest.split_once('/') {
+        Some((id, tail)) => (id, Some(tail)),
+        None => (rest, None),
+    };
+    let Ok(id) = id_text.parse::<u64>() else {
+        return respond(stream, 400, JSON, &[], &err_body("job id must be an integer"));
+    };
+    match tail {
+        None => stream_progress(gw, stream, id),
+        Some("status") => {
+            let inner = gw.inner.lock().expect("gateway lock poisoned");
+            match inner.jobs.get(&id) {
+                Some(job) => {
+                    let body = format!(
+                        "{{\"job\":{id},\"state\":\"{}\",\"done\":{},\"total\":{}}}\n",
+                        job.status.name(),
+                        job.progress.load(std::sync::atomic::Ordering::Relaxed),
+                        job.total
+                    );
+                    drop(inner);
+                    respond(stream, 200, JSON, &[], body.as_bytes())
+                }
+                None => respond(stream, 404, JSON, &[], &err_body("no such job")),
+            }
+        }
+        Some("result") => {
+            let inner = gw.inner.lock().expect("gateway lock poisoned");
+            match inner.jobs.get(&id) {
+                Some(Job { status: JobStatus::Done, body: Some(body), .. }) => {
+                    let body = Arc::clone(body);
+                    drop(inner);
+                    respond(stream, 200, JSON, &[], &body)
+                }
+                Some(Job { status: JobStatus::Failed(msg), .. }) => {
+                    let body = err_body(msg);
+                    drop(inner);
+                    respond(stream, 500, JSON, &[], &body)
+                }
+                Some(_) => respond(stream, 404, JSON, &[], &err_body("job is not finished")),
+                None => respond(stream, 404, JSON, &[], &err_body("no such job")),
+            }
+        }
+        Some("trace") => {
+            let inner = gw.inner.lock().expect("gateway lock poisoned");
+            match inner.jobs.get(&id) {
+                Some(Job { trace: Some(trace), .. }) => {
+                    let trace = Arc::clone(trace);
+                    drop(inner);
+                    respond(stream, 200, JSON, &[], &trace)
+                }
+                Some(_) => respond(
+                    stream,
+                    404,
+                    JSON,
+                    &[],
+                    &err_body("no trace: job still running or not requested with trace=true"),
+                ),
+                None => respond(stream, 404, JSON, &[], &err_body("no such job")),
+            }
+        }
+        Some(_) => respond(stream, 404, JSON, &[], &err_body("not found")),
+    }
+}
+
+/// Stream job progress as chunked newline-delimited JSON until the job
+/// reaches a terminal state; the final line carries the status.
+fn stream_progress(gw: &Gateway, stream: &mut TcpStream, id: u64) -> std::io::Result<()> {
+    {
+        let inner = gw.inner.lock().expect("gateway lock poisoned");
+        if !inner.jobs.contains_key(&id) {
+            drop(inner);
+            return respond(stream, 404, "application/json", &[], &err_body("no such job"));
+        }
+    }
+    let mut w = ChunkedWriter::start(stream, 200, "application/x-ndjson")?;
+    let mut last_line = String::new();
+    loop {
+        let (line, terminal) = {
+            let inner = gw.inner.lock().expect("gateway lock poisoned");
+            let job = inner.jobs.get(&id).expect("jobs are never removed");
+            let done = job.progress.load(Ordering::Relaxed);
+            let line = format!(
+                "{{\"job\":{id},\"state\":\"{}\",\"done\":{done},\"total\":{}}}\n",
+                job.status.name(),
+                job.total
+            );
+            (line, job.status.terminal())
+        };
+        if line != last_line {
+            w.chunk(line.as_bytes())?;
+            last_line = line;
+        }
+        if terminal {
+            return w.finish();
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+/// Block until the queue is empty and no job is running.
+fn wait_drained(gw: &Gateway) {
+    let mut inner = gw.inner.lock().expect("gateway lock poisoned");
+    while !(inner.queue.is_empty() && inner.running == 0) {
+        inner = gw.done_cv.wait(inner).expect("gateway lock poisoned");
+    }
+}

@@ -27,7 +27,7 @@
 //! stream ([`parser`]) producing per-file item trees, and a
 //! workspace-wide symbol graph ([`symbols`]) recording definitions and
 //! read/write/call references. Per-file rules run over tokens; the
-//! cross-file rules (C01/E01/E02/E03/M01) run over the graph. Resolution is
+//! cross-file rules (C01/E01/E02/E03/E04/M01) run over the graph. Resolution is
 //! name-based rather than type-checked, which can only hide violations
 //! on commonly-named fields, never invent them — the right failure
 //! direction for a gate. Residual false positives are handled by a
@@ -169,6 +169,16 @@ pub const CATALOG: &[LintInfo] = &[
                     exempt: they consume timing to build the machine, not to warm it.",
     },
     LintInfo {
+        id: "E04",
+        summary: "CLI surface closed under documentation: subcommands, flags, env knobs",
+        rationale: "the binary's usage() prints its leading //! header verbatim, so a match \
+                    arm with no header line is an undiscoverable feature and a header line \
+                    with no match arm is vaporware; likewise every COAXIAL_* environment \
+                    variable read anywhere in the workspace must appear in an env-doc file \
+                    (crates/sim/src/env.rs or crates/gateway/src/lib.rs) or operators \
+                    cannot find it.",
+    },
+    LintInfo {
         id: "M01",
         summary: "metric paths are unique lowercase-dot-case; every latency component stamps",
         rationale: "the telemetry registry is stringly-keyed: two subsystems registering the \
@@ -292,6 +302,7 @@ pub fn lint_workspace_scoped(
         raw.extend(rules::lint_file(ctx, &ws));
     }
     raw.extend(rules::lint_cross_file(&ws));
+    raw.extend(rules::check_e04(&sources, &rules::E04_SPEC));
     raw.sort_by(|a, b| (&a.path, a.line, a.id).cmp(&(&b.path, b.line, b.id)));
 
     let mut used = vec![false; allows.len()];

@@ -1189,3 +1189,253 @@ pub fn metric_regs_of<'w>(ws: &'w Workspace, rel: &str) -> Vec<&'w MetricReg> {
         .map(|s| s.fns.iter().flat_map(|f| f.metric_regs.iter()).collect())
         .unwrap_or_default()
 }
+
+// ---------------------------------------------------------------------------
+// E04 — CLI surface reachability
+// ---------------------------------------------------------------------------
+
+/// E04 rule spec: where the CLI surface lives and which files' text counts
+/// as documentation for environment knobs.
+pub struct CliSpec<'a> {
+    /// Repo-relative path of the CLI binary. Its leading `//!` header is
+    /// the usage text (`usage()` prints it verbatim), and its string
+    /// match arms are the accepted subcommands and flags.
+    pub bin_rel: &'a str,
+    /// Environment-variable prefix that marks a knob as ours.
+    pub env_prefix: &'a str,
+    /// Name prefixes exempt from the documentation requirement
+    /// (test-scratch variables).
+    pub env_exclude: &'a [&'a str],
+    /// Files whose full text (doc tables included) counts as env-knob
+    /// documentation.
+    pub env_doc_rels: &'a [&'a str],
+}
+
+/// The real tree's E04 spec.
+pub const E04_SPEC: CliSpec<'static> = CliSpec {
+    bin_rel: "src/bin/coaxial.rs",
+    env_prefix: "COAXIAL_",
+    env_exclude: &["COAXIAL_TEST"],
+    env_doc_rels: &["crates/sim/src/env.rs", "crates/gateway/src/lib.rs"],
+};
+
+/// Leading `//!` doc block of a file as `(line, text-after-marker)` rows.
+fn inner_doc_header(src: &str) -> Vec<(u32, String)> {
+    let mut out = Vec::new();
+    for (i, line) in src.lines().enumerate() {
+        let t = line.trim_start();
+        if let Some(rest) = t.strip_prefix("//!") {
+            let line = u32::try_from(i).unwrap_or(u32::MAX - 1) + 1;
+            out.push((line, rest.trim_start_matches(' ').to_string()));
+        } else if !t.is_empty() {
+            break;
+        }
+    }
+    out
+}
+
+/// String literals that form match-arm patterns (`"a" | "b" => …`),
+/// with the line of each literal.
+fn string_match_arms(code: &[Tok]) -> Vec<(String, u32)> {
+    let mut out = Vec::new();
+    for i in 1..code.len() {
+        if !(code[i - 1].is_punct('=') && code[i].is_punct('>')) {
+            continue;
+        }
+        // Walk backward over `Str (| Str)*` ending right before the `=>`.
+        let mut j = i - 1;
+        while j > 0 && code[j - 1].kind == TokKind::Str {
+            let t = &code[j - 1];
+            out.push((t.text.trim_matches('"').to_string(), t.line));
+            j -= 1;
+            if j > 0 && code[j - 1].is_punct('|') {
+                j -= 1;
+            } else {
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// Strip the usage markup around a header token (`[--ops` → `--ops`).
+fn trim_markup(tok: &str) -> &str {
+    tok.trim_matches(|c: char| matches!(c, '[' | ']' | '(' | ')' | ',' | '.' | '`' | '#'))
+}
+
+/// E04: the CLI surface must be closed under documentation.
+///
+/// Forward: every subcommand / `--flag` string match arm in the binary
+/// must appear in its usage header. Reverse: every `coaxial <sub>` line
+/// and every line-leading `--flag` in the header must have a match arm.
+/// Env: every `{prefix}*` name in a string literal anywhere in the
+/// workspace must appear in one of the env-doc files.
+pub fn check_e04(sources: &[(String, String)], spec: &CliSpec) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let Some((bin_rel, bin_src)) = sources.iter().find(|(rel, _)| rel == spec.bin_rel) else {
+        return out; // synthetic fixture tree without the binary
+    };
+    let bin_name = spec.bin_rel.rsplit('/').next().unwrap_or(spec.bin_rel).trim_end_matches(".rs");
+    let header = inner_doc_header(bin_src);
+    let code: Vec<Tok> =
+        crate::lexer::lex(bin_src).into_iter().filter(|t| t.kind != TokKind::Comment).collect();
+
+    // -- the accepted surface: string match arms, classified ---------------
+    let mut arm_subs: BTreeSet<String> = BTreeSet::new();
+    let mut arm_flags: BTreeSet<String> = BTreeSet::new();
+    let mut arm_sites: Vec<(String, u32, bool)> = Vec::new(); // (name, line, is_flag)
+    for (text, line) in string_match_arms(&code) {
+        if text.starts_with("--") && text.len() > 2 {
+            arm_flags.insert(text.clone());
+            arm_sites.push((text, line, true));
+        } else if !text.is_empty()
+            && text.chars().next().is_some_and(|c| c.is_ascii_lowercase())
+            && text.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-')
+        {
+            arm_subs.insert(text.clone());
+            arm_sites.push((text, line, false));
+        }
+    }
+
+    // -- the documented surface: header lines ------------------------------
+    let mut doc_subs: BTreeSet<&str> = BTreeSet::new();
+    let mut doc_flags: BTreeSet<&str> = BTreeSet::new();
+    let mut doc_sub_sites: Vec<(&str, u32)> = Vec::new();
+    let mut doc_flag_sites: Vec<(&str, u32)> = Vec::new();
+    for (line_no, text) in &header {
+        let mut toks = text.split_whitespace().map(trim_markup);
+        let first = toks.next().unwrap_or("");
+        if first == bin_name {
+            // Only identifier-shaped words are subcommands; the title line
+            // ("coaxial — a …") and prose mentions are skipped.
+            if let Some(sub) = toks.next().filter(|s| {
+                s.chars().next().is_some_and(|c| c.is_ascii_lowercase())
+                    && s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-')
+            }) {
+                doc_subs.insert(sub);
+                doc_sub_sites.push((sub, *line_no));
+            }
+        } else if first.starts_with("--") {
+            doc_flags.insert(first);
+            doc_flag_sites.push((first, *line_no));
+        }
+        // Flags documented mid-line ("[--ops N]", "--trace-end <c>") count
+        // as documented, but only line-leading ones are reverse-checked.
+        for tok in text.split_whitespace().map(trim_markup) {
+            if tok.starts_with("--") && tok.len() > 2 {
+                doc_flags.insert(tok);
+            }
+        }
+    }
+
+    // Forward: accepted but undocumented.
+    for (name, line, is_flag) in &arm_sites {
+        let documented = if *is_flag {
+            doc_flags.contains(name.as_str())
+        } else {
+            doc_subs.contains(name.as_str())
+        };
+        if !documented {
+            out.push(Finding {
+                id: "E04",
+                path: bin_rel.clone(),
+                line: *line,
+                ident: name.clone(),
+                message: format!(
+                    "CLI {} `{name}` is accepted by a match arm but missing from the \
+                     usage header — users cannot discover it (usage() prints the header \
+                     verbatim)",
+                    if *is_flag { "option" } else { "subcommand" }
+                ),
+            });
+        }
+    }
+    // Reverse: documented but not accepted.
+    for (sub, line) in doc_sub_sites {
+        if !arm_subs.contains(sub) {
+            out.push(Finding {
+                id: "E04",
+                path: bin_rel.clone(),
+                line,
+                ident: sub.to_string(),
+                message: format!(
+                    "usage header documents subcommand `{sub}` but no string match arm \
+                     in the binary handles it — the documented surface is unreachable"
+                ),
+            });
+        }
+    }
+    for (flag, line) in doc_flag_sites {
+        if !arm_flags.contains(flag) {
+            out.push(Finding {
+                id: "E04",
+                path: bin_rel.clone(),
+                line,
+                ident: flag.to_string(),
+                message: format!(
+                    "usage header documents option `{flag}` but no string match arm in \
+                     the binary parses it — the documented surface is unreachable"
+                ),
+            });
+        }
+    }
+
+    // -- env knobs: every used name must be documented ----------------------
+    let mut doc_text = String::new();
+    for rel in spec.env_doc_rels {
+        if let Some((_, src)) = sources.iter().find(|(r, _)| r == rel) {
+            doc_text.push_str(src);
+            doc_text.push('\n');
+        }
+    }
+    for (rel, src) in sources {
+        for t in crate::lexer::lex(src) {
+            if t.kind != TokKind::Str {
+                continue;
+            }
+            for name in env_names_in(&t.text, spec.env_prefix) {
+                if spec.env_exclude.iter().any(|p| name.starts_with(p)) {
+                    continue;
+                }
+                if !doc_text.contains(&name) {
+                    out.push(Finding {
+                        id: "E04",
+                        path: rel.clone(),
+                        line: t.line,
+                        ident: name.clone(),
+                        message: format!(
+                            "environment knob `{name}` is read here but documented in none \
+                             of {:?} — undocumented env vars are an unreachable surface",
+                            spec.env_doc_rels
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    out.sort_by(|a, b| (&a.path, a.line, &a.ident).cmp(&(&b.path, b.line, &b.ident)));
+    out.dedup_by(|a, b| (&a.path, a.line, &a.ident) == (&b.path, b.line, &b.ident));
+    out
+}
+
+/// `{prefix}[A-Z0-9_]+` names inside a string literal's source slice.
+/// Names that stop at the prefix (dynamic `format!` stems) are skipped.
+fn env_names_in(literal: &str, prefix: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = literal;
+    while let Some(pos) = rest.find(prefix) {
+        let tail = &rest[pos..];
+        let len = tail
+            .char_indices()
+            .take_while(|(_, c)| c.is_ascii_uppercase() || c.is_ascii_digit() || *c == '_')
+            .map(|(i, c)| i + c.len_utf8())
+            .last()
+            .unwrap_or(0);
+        let name = &tail[..len];
+        if name.len() > prefix.len() && !name.ends_with('_') {
+            out.push(name.to_string());
+        }
+        rest = &rest[pos + prefix.len()..];
+    }
+    out
+}

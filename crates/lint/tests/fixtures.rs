@@ -476,3 +476,65 @@ fn workspace_lint_allow_file_parses_and_every_entry_has_a_reason() {
         assert!(e.reason.trim().len() >= 10, "entry at line {} lacks a real reason", e.line);
     }
 }
+
+#[test]
+fn e04_bad_fires_good_is_clean() {
+    let spec = rules::CliSpec {
+        bin_rel: "src/bin/fixtool.rs",
+        env_prefix: "FIXTURE_",
+        env_exclude: &["FIXTURE_TMP"],
+        env_doc_rels: &["src/env.rs"],
+    };
+    let doc = fixture("e04/env_doc.rs");
+    let bad = fixture("e04/bad_bin.rs");
+    let sources =
+        vec![("src/bin/fixtool.rs".to_string(), bad), ("src/env.rs".to_string(), doc.clone())];
+    let findings = rules::check_e04(&sources, &spec);
+    assert_fires("E04", &findings, 4);
+    let idents: BTreeSet<&str> = findings.iter().map(|f| f.ident.as_str()).collect();
+    for want in ["--ghost", "prune", "--level", "FIXTURE_SECRET"] {
+        assert!(idents.contains(want), "missing {want}: {findings:#?}");
+    }
+
+    let good = fixture("e04/good_bin.rs");
+    let sources = vec![("src/bin/fixtool.rs".to_string(), good), ("src/env.rs".to_string(), doc)];
+    assert_eq!(rules::check_e04(&sources, &spec), vec![]);
+}
+
+#[test]
+fn e04_real_tree_is_clean_and_catches_mutations() {
+    let sources =
+        coaxial_lint::workspace_sources(std::path::Path::new(&repo_root())).expect("readable tree");
+    assert_eq!(rules::check_e04(&sources, &rules::E04_SPEC), vec![]);
+
+    // Strip the `--json` usage-header line: the parse arm is still there,
+    // so the option became undiscoverable — forward E04.
+    let mut mutated = sources.clone();
+    let bin = mutated.iter_mut().find(|(rel, _)| rel == "src/bin/coaxial.rs").unwrap();
+    bin.1 = bin
+        .1
+        .lines()
+        .filter(|l| !(l.starts_with("//!") && l.contains("--json")))
+        .collect::<Vec<_>>()
+        .join("\n");
+    let findings = rules::check_e04(&mutated, &rules::E04_SPEC);
+    assert!(
+        findings.iter().any(|f| f.id == "E04" && f.ident == "--json"),
+        "expected a forward finding for --json: {findings:#?}"
+    );
+
+    // An env knob read somewhere but documented nowhere — env E04. The
+    // name is assembled at runtime so this test file itself (which the
+    // full-tree scan covers) doesn't contain the undocumented literal.
+    let knob = format!("{}{}", "COAXIAL_", "BOGUS_KNOB");
+    let mut mutated = sources.clone();
+    mutated.push((
+        "crates/sim/src/fake.rs".to_string(),
+        format!("fn f() -> Option<String> {{ std::env::var(\"{knob}\").ok() }}"),
+    ));
+    let findings = rules::check_e04(&mutated, &rules::E04_SPEC);
+    assert!(
+        findings.iter().any(|f| f.ident == knob),
+        "expected an env-knob finding: {findings:#?}"
+    );
+}

@@ -1,0 +1,40 @@
+//! fixtool — the E04 fixture's tiny CLI (bad twin).
+//!
+//!   fixtool run <name> [--fast]
+//!   fixtool list
+//!   fixtool prune
+//!
+//! options:
+//!   --fast          take the fast path
+//!   --level <n>     verbosity level
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut fast = false;
+    let mut ghost = false;
+    let mut rest: Vec<&str> = Vec::new();
+    for a in args.iter().skip(1).map(String::as_str) {
+        match a {
+            "--fast" => fast = true,
+            // Accepted but absent from the header: forward E04.
+            "--ghost" => ghost = true,
+            other => rest.push(other),
+        }
+    }
+    // `prune` is documented but has no arm; `--level` is documented but
+    // never parsed: both are reverse E04 findings.
+    match rest.first().copied().unwrap_or("") {
+        "run" => run(fast, ghost),
+        "list" => list(),
+        _ => usage(),
+    }
+}
+
+fn run(_fast: bool, _ghost: bool) {
+    // Undocumented env knob: env E04.
+    let _ = std::env::var("FIXTURE_SECRET");
+}
+
+fn list() {}
+
+fn usage() {}

@@ -1,0 +1,9 @@
+//! Env-knob documentation file for the E04 fixture tree.
+//!
+//! | Variable       | Meaning                          |
+//! |----------------|----------------------------------|
+//! | `FIXTURE_JOBS` | worker threads for the fixture   |
+
+pub fn jobs() -> u64 {
+    std::env::var("FIXTURE_JOBS").ok().and_then(|v| v.parse().ok()).unwrap_or(1)
+}

@@ -1,0 +1,37 @@
+//! fixtool — the E04 fixture's tiny CLI (good twin).
+//!
+//!   fixtool run <name> [--fast]
+//!   fixtool list
+//!
+//! options:
+//!   --fast          take the fast path
+//!   --seed <n>      deterministic seed
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut fast = false;
+    let mut seed = 0u64;
+    let mut rest: Vec<&str> = Vec::new();
+    for a in args.iter().skip(1).map(String::as_str) {
+        match a {
+            "--fast" => fast = true,
+            "--seed" => seed = 1,
+            other => rest.push(other),
+        }
+    }
+    match rest.first().copied().unwrap_or("") {
+        "run" => run(fast, seed),
+        "list" => list(),
+        _ => usage(),
+    }
+}
+
+fn run(_fast: bool, _seed: u64) {
+    // Documented knob plus an excluded test-scratch variable.
+    let _ = std::env::var("FIXTURE_JOBS");
+    let _ = std::env::var("FIXTURE_TMP_DIR");
+}
+
+fn list() {}
+
+fn usage() {}

@@ -282,8 +282,13 @@ impl<V: Snapshot> CheckpointStore<V> {
         value.encode(&mut payload);
         // Atomic publish: a concurrent reader sees either no file or the
         // complete file, never a torn write. The temp name carries the pid
-        // so concurrent writers of the same key cannot collide.
-        let tmp = path.with_extension(format!("tmp{}", std::process::id()));
+        // plus a process-wide sequence number so concurrent writers of the
+        // same key cannot collide — two threads in one process would
+        // otherwise share a pid-only temp name and truncate each other
+        // mid-write, renaming a torn payload into place.
+        static TMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let seq = TMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let tmp = path.with_extension(format!("tmp{}-{seq}", std::process::id()));
         fs::write(&tmp, &payload)?;
         match fs::rename(&tmp, path) {
             Ok(()) => Ok(()),

@@ -14,6 +14,12 @@
 //! | `COAXIAL_DEBUG`   | end-of-run engine diagnostics on stderr            |
 //! | `COAXIAL_PREFILL_CACHE_MB` | byte budget (MB) for each cross-run prefill cache |
 //! | `COAXIAL_CHECKPOINT_DIR` | disk tier for the post-prefill checkpoint store |
+//! | `COAXIAL_F2A_CYCLES` | fig2a bench: simulated cycles per load-latency point |
+//! | `COAXIAL_F6_WEIGHTED` | fig6 bench: also emit the weighted-speedup column |
+//! | `COAXIAL_F7_ALL` | fig7 bench: average over all workloads, not the subset |
+//!
+//! The gateway's `COAXIAL_GATEWAY_*` family is documented in
+//! `crates/gateway/src/lib.rs` next to the code that parses it.
 
 /// Read a `u64` from the environment, falling back to `default` when the
 /// variable is unset or unparsable.

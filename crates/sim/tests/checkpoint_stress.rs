@@ -1,0 +1,121 @@
+//! Concurrent disk-tier stress test for [`CheckpointStore`].
+//!
+//! The gateway makes the same-key write race routine: N identical
+//! requests dedup to one simulation, but N *near*-identical requests
+//! (same functional slice, different timing) each prefill through their
+//! own store handle and race tmp+rename publishes of the same
+//! content-addressed `.ckpt`. The contract under that race: a reader
+//! observes either no file or one complete, correctly keyed payload —
+//! never a torn write (which would surface as a `disk_errors` bump when
+//! the header or codec check rejects the file).
+//!
+//! This is a regression test for the pid-only temp-file name: two
+//! threads in one process used to share `.tmpPID` and truncate each
+//! other mid-write, occasionally renaming a torn payload into place.
+
+use std::path::PathBuf;
+use std::sync::{Arc, Barrier};
+
+use coaxial_sim::checkpoint::codec;
+use coaxial_sim::{CheckpointStore, KeyHasher, Snapshot};
+
+/// Tagged word vector with a self-check: `tag` doubles as the seed of
+/// the word pattern, so any byte-level tearing that survives the codec's
+/// structural checks still fails verification.
+#[derive(Debug, PartialEq, Eq)]
+struct Blob {
+    tag: u64,
+    words: Vec<u64>,
+}
+
+impl Blob {
+    fn for_round(round: u64) -> Self {
+        let mut rng = coaxial_sim::SplitMix64::new(round ^ 0xCC57_0BE5);
+        let words = (0..512).map(|_| rng.next_u64()).collect();
+        Self { tag: round, words }
+    }
+}
+
+impl Snapshot for Blob {
+    fn encode(&self, out: &mut Vec<u8>) {
+        codec::put_u64(out, self.tag);
+        codec::put_u64s(out, &self.words);
+    }
+
+    fn decode(bytes: &[u8]) -> Option<Self> {
+        let mut r = codec::Reader::new(bytes);
+        let blob = Self { tag: r.u64()?, words: r.u64s()? };
+        r.done().then_some(blob)
+    }
+}
+
+fn scratch(label: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("coaxial-ckpt-stress-{}-{label}", std::process::id()))
+}
+
+fn round_key(round: u64) -> u128 {
+    let mut h = KeyHasher::new("coaxial/test/ckpt-stress/v1");
+    h.write_u64(round);
+    h.finish()
+}
+
+/// Threads race same-key writes and reads through independent store
+/// handles sharing one directory; every decoded value must be exact and
+/// no handle may record a disk error.
+#[test]
+fn racing_same_key_writers_never_publish_a_torn_checkpoint() {
+    const THREADS: usize = 8;
+    const ROUNDS: u64 = 120;
+
+    let dir = scratch("race");
+    let _ = std::fs::remove_dir_all(&dir);
+    let start = Arc::new(Barrier::new(THREADS));
+
+    let error_counts: Vec<u64> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let dir = dir.clone();
+                let start = Arc::clone(&start);
+                s.spawn(move || {
+                    // Tiny memory budget forces every read through the
+                    // disk tier, maximizing decode pressure on the race.
+                    let mut store: CheckpointStore<Blob> =
+                        CheckpointStore::new(1, Some(dir), "stress");
+                    for round in 0..ROUNDS {
+                        start.wait();
+                        let key = round_key(round);
+                        let want = Blob::for_round(round);
+                        // Content-addressed contract: same key ⇒ same
+                        // payload, so racing writers are benign as long
+                        // as each publish is atomic.
+                        if t % 2 == 0 || round % 3 == 0 {
+                            let mut bytes = Vec::new();
+                            want.encode(&mut bytes);
+                            store.insert(key, Arc::new(Blob::for_round(round)), bytes.len() as u64);
+                        }
+                        for _ in 0..4 {
+                            if let Some(got) = store.get(key) {
+                                assert_eq!(*got, want, "torn or mis-keyed checkpoint observed");
+                            }
+                        }
+                    }
+                    store.counters().disk_errors
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("stress worker panicked")).collect()
+    });
+
+    assert_eq!(error_counts.iter().sum::<u64>(), 0, "disk errors under race: {error_counts:?}");
+
+    // Quiescent sweep: every published file decodes under its own key.
+    let mut checker: CheckpointStore<Blob> =
+        CheckpointStore::new(u64::MAX, Some(dir.clone()), "stress");
+    for round in 0..ROUNDS {
+        if let Some(got) = checker.get(round_key(round)) {
+            assert_eq!(*got, Blob::for_round(round));
+        }
+    }
+    assert_eq!(checker.counters().disk_errors, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -33,6 +33,49 @@ use coaxial_cxl::CxlLinkConfig;
 use coaxial_dram::DramConfig;
 use serde::Serialize;
 
+/// A structurally invalid configuration request.
+///
+/// The `try_with_*` builders (and [`SystemConfig::by_name`]) return this
+/// instead of panicking so service front-ends (the gateway's HTTP 400
+/// mapping) and the CLI can report the same message without killing a
+/// worker thread. The panicking `with_*` builders delegate to these and
+/// keep their assert semantics for experiment code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// No canned configuration under that name (see [`SystemConfig::by_name`]).
+    UnknownConfig(String),
+    /// `cores == 0`.
+    InvalidCores { n: usize },
+    /// `active_cores` outside `1..=cores`.
+    InvalidActiveCores { n: usize, cores: usize },
+    /// `calm_epoch == 0`.
+    InvalidCalmEpoch,
+    /// A workload mix that does not name exactly one workload per core.
+    WorkloadMixLength { got: usize, want: usize },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::UnknownConfig(name) => {
+                write!(f, "unknown config `{name}`: expected ddr|baseline|2x|4x|5x|asym")
+            }
+            Self::InvalidCores { n } => {
+                write!(f, "invalid core count {n}: a server needs at least one core")
+            }
+            Self::InvalidActiveCores { n, cores } => {
+                write!(f, "invalid active core count {n}: must be in 1..={cores}")
+            }
+            Self::InvalidCalmEpoch => write!(f, "calm epoch must be at least one cycle"),
+            Self::WorkloadMixLength { got, want } => {
+                write!(f, "workload mix names {got} workloads for {want} cores")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// What kind of memory system backs the processor.
 #[derive(Debug, Clone, Serialize)]
 pub enum MemorySystemKind {
@@ -156,6 +199,23 @@ impl SystemConfig {
         )
     }
 
+    /// Look up a canned configuration by its CLI/service name.
+    ///
+    /// Accepts the short names used by the `coaxial` binary and the
+    /// gateway request schema: `ddr`/`baseline`, `2x`, `4x`, `5x`,
+    /// `asym`. Unknown names are a [`ConfigError::UnknownConfig`] so the
+    /// gateway can answer HTTP 400 and the CLI can print the same text.
+    pub fn by_name(name: &str) -> Result<Self, ConfigError> {
+        match name {
+            "ddr" | "baseline" => Ok(Self::ddr_baseline()),
+            "2x" => Ok(Self::coaxial_2x()),
+            "4x" => Ok(Self::coaxial_4x()),
+            "5x" => Ok(Self::coaxial_5x()),
+            "asym" => Ok(Self::coaxial_asym()),
+            other => Err(ConfigError::UnknownConfig(other.to_string())),
+        }
+    }
+
     /// Override the CALM mechanism (Fig. 7).
     pub fn with_calm(mut self, calm: CalmPolicy) -> Self {
         self.timing.calm = calm;
@@ -178,18 +238,38 @@ impl SystemConfig {
     /// studies beyond the paper's fixed 12-core slice; the mesh and LLC
     /// banking rebuild around the new count). Use [`Self::with_active_cores`]
     /// to idle cores without shrinking the slice.
-    pub fn with_cores(mut self, n: usize) -> Self {
-        assert!(n >= 1, "a server needs at least one core");
+    pub fn with_cores(self, n: usize) -> Self {
+        match self.try_with_cores(n) {
+            Ok(cfg) => cfg,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible twin of [`Self::with_cores`] for service front-ends.
+    pub fn try_with_cores(mut self, n: usize) -> Result<Self, ConfigError> {
+        if n < 1 {
+            return Err(ConfigError::InvalidCores { n });
+        }
         self.functional.cores = n;
         self.functional.active_cores = n;
-        self
+        Ok(self)
     }
 
     /// Run the workload on only the first `n` cores (Fig. 11).
-    pub fn with_active_cores(mut self, n: usize) -> Self {
-        assert!(n >= 1 && n <= self.functional.cores);
+    pub fn with_active_cores(self, n: usize) -> Self {
+        match self.try_with_active_cores(n) {
+            Ok(cfg) => cfg,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible twin of [`Self::with_active_cores`] for service front-ends.
+    pub fn try_with_active_cores(mut self, n: usize) -> Result<Self, ConfigError> {
+        if n < 1 || n > self.functional.cores {
+            return Err(ConfigError::InvalidActiveCores { n, cores: self.functional.cores });
+        }
         self.functional.active_cores = n;
-        self
+        Ok(self)
     }
 
     pub fn with_seed(mut self, seed: u64) -> Self {
@@ -207,10 +287,20 @@ impl SystemConfig {
     }
 
     /// Override the CALM_R monitoring epoch (ablation experiments).
-    pub fn with_calm_epoch(mut self, cycles: u64) -> Self {
-        assert!(cycles > 0);
+    pub fn with_calm_epoch(self, cycles: u64) -> Self {
+        match self.try_with_calm_epoch(cycles) {
+            Ok(cfg) => cfg,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible twin of [`Self::with_calm_epoch`] for service front-ends.
+    pub fn try_with_calm_epoch(mut self, cycles: u64) -> Result<Self, ConfigError> {
+        if cycles == 0 {
+            return Err(ConfigError::InvalidCalmEpoch);
+        }
         self.timing.calm_epoch = cycles;
-        self
+        Ok(self)
     }
 
     /// Override the DRAM configuration (ablation experiments: page policy,
@@ -305,5 +395,34 @@ mod tests {
     #[should_panic]
     fn active_cores_bounded() {
         let _ = SystemConfig::ddr_baseline().with_active_cores(13);
+    }
+
+    #[test]
+    fn try_builders_return_structured_errors() {
+        assert_eq!(
+            SystemConfig::ddr_baseline().try_with_cores(0).unwrap_err(),
+            ConfigError::InvalidCores { n: 0 }
+        );
+        assert_eq!(
+            SystemConfig::ddr_baseline().try_with_active_cores(13).unwrap_err(),
+            ConfigError::InvalidActiveCores { n: 13, cores: 12 }
+        );
+        assert_eq!(
+            SystemConfig::ddr_baseline().try_with_calm_epoch(0).unwrap_err(),
+            ConfigError::InvalidCalmEpoch
+        );
+        assert_eq!(SystemConfig::ddr_baseline().try_with_cores(4).unwrap().functional.cores, 4);
+    }
+
+    #[test]
+    fn by_name_resolves_every_canned_config_and_rejects_unknowns() {
+        for (name, channels) in
+            [("ddr", 1), ("baseline", 1), ("2x", 2), ("4x", 4), ("5x", 5), ("asym", 8)]
+        {
+            assert_eq!(SystemConfig::by_name(name).unwrap().ddr_channels(), channels, "{name}");
+        }
+        let err = SystemConfig::by_name("8x").unwrap_err();
+        assert_eq!(err, ConfigError::UnknownConfig("8x".to_string()));
+        assert!(err.to_string().contains("8x"), "{err}");
     }
 }

@@ -36,7 +36,7 @@ pub mod power;
 pub mod runner;
 pub mod server;
 
-pub use config::{MemorySystemKind, SystemConfig};
+pub use config::{ConfigError, MemorySystemKind, SystemConfig};
 pub use engine::EngineKind;
 pub use runner::{parallel_map, run_all, RunSpec};
 pub use server::{RunReport, Simulation};

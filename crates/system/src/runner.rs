@@ -25,6 +25,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use coaxial_workloads::Workload;
 
 use crate::config::SystemConfig;
+use crate::engine::EngineKind;
 use crate::server::{RunReport, Simulation};
 
 /// Map `f` over `items` on `jobs` worker threads with work stealing.
@@ -92,6 +93,8 @@ pub struct RunSpec {
     pub workloads: Vec<&'static Workload>,
     pub instructions: u64,
     pub warmup: u64,
+    /// Explicit engine selection; `None` defers to `COAXIAL_ENGINE`.
+    pub engine: Option<EngineKind>,
 }
 
 impl RunSpec {
@@ -103,7 +106,7 @@ impl RunSpec {
         warmup: u64,
     ) -> Self {
         let workloads = vec![workload; config.functional.cores];
-        Self { config, workloads, instructions, warmup }
+        Self { config, workloads, instructions, warmup, engine: None }
     }
 
     /// Heterogeneous run (Fig. 6 mixes): one workload per core.
@@ -113,13 +116,32 @@ impl RunSpec {
         instructions: u64,
         warmup: u64,
     ) -> Self {
-        Self { config, workloads: mix.to_vec(), instructions, warmup }
+        Self { config, workloads: mix.to_vec(), instructions, warmup, engine: None }
     }
 
-    fn build(&self) -> Simulation {
-        Simulation::new_mix(self.config.clone(), &self.workloads)
+    /// Pin the execution engine instead of deferring to `COAXIAL_ENGINE`
+    /// (the gateway pins per-request so concurrent clients can mix
+    /// engines without racing on the environment).
+    pub fn with_engine(mut self, engine: EngineKind) -> Self {
+        self.engine = Some(engine);
+        self
+    }
+
+    /// Materialize the configured [`Simulation`] without running it, for
+    /// callers that attach telemetry or tracing before execution.
+    pub fn simulation(&self) -> Simulation {
+        let sim = Simulation::new_mix(self.config.clone(), &self.workloads)
             .instructions_per_core(self.instructions)
-            .warmup(self.warmup)
+            .warmup(self.warmup);
+        match self.engine {
+            Some(kind) => sim.engine(kind),
+            None => sim,
+        }
+    }
+
+    /// Build and run this spec to completion.
+    pub fn run(&self) -> RunReport {
+        self.simulation().run()
     }
 }
 
@@ -128,13 +150,13 @@ impl RunSpec {
 /// `run_all(specs)[i]` corresponds to `specs[i]`; see the module docs for
 /// the determinism contract.
 pub fn run_all(specs: &[RunSpec]) -> Vec<RunReport> {
-    parallel_map(specs, |s| s.build().run())
+    parallel_map(specs, RunSpec::run)
 }
 
 /// [`run_all`] with an explicit worker count (ignores `COAXIAL_JOBS`);
 /// used by the equivalence tests to avoid racing on the environment.
 pub fn run_all_jobs(specs: &[RunSpec], jobs: usize) -> Vec<RunReport> {
-    parallel_map_jobs(specs, jobs, |s| s.build().run())
+    parallel_map_jobs(specs, jobs, RunSpec::run)
 }
 
 #[cfg(test)]

@@ -48,7 +48,7 @@ pub type Cycle = u64;
 pub const NS_PER_CYCLE: f64 = 1.0 / 2.4;
 
 pub use attribution::{Component, LatencyAttribution, MissRecord, COMPONENTS};
-pub use registry::{MetricValue, MetricsRegistry, SharedCounter};
+pub use registry::{MetricValue, MetricsRegistry, SharedCounter, SharedHistogram};
 pub use sink::{NullTelemetry, TelemetryRecorder, TelemetrySink};
 pub use stats::{Histogram, MeanTracker};
 pub use trace::{CounterEvent, EventTracer, TraceEvent};

@@ -14,7 +14,7 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use serde::Serialize;
 
@@ -186,6 +186,35 @@ impl SharedCounter {
     }
 }
 
+/// A process-wide histogram that many threads record into and that later
+/// snapshots into a [`MetricsRegistry`]. The [`SharedCounter`] analogue
+/// for distributions: the gateway records per-request latency from its
+/// worker threads and exports the histogram at `/metrics` harvest time.
+/// Not for simulation fast paths — each `record` takes a mutex.
+#[derive(Debug, Clone, Default)]
+pub struct SharedHistogram(Arc<Mutex<Histogram>>);
+
+impl SharedHistogram {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn record(&self, value: u64) {
+        self.0.lock().expect("histogram lock poisoned").record(value);
+    }
+
+    /// Clone out the current distribution.
+    #[must_use]
+    pub fn snapshot(&self) -> Histogram {
+        self.0.lock().expect("histogram lock poisoned").clone()
+    }
+
+    /// Snapshot the current distribution into `reg` at `path`.
+    pub fn export(&self, reg: &mut MetricsRegistry, path: &str) {
+        reg.put_histogram(path, self.snapshot());
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -252,6 +281,23 @@ mod tests {
         let mut r = MetricsRegistry::new();
         c.export(&mut r, "cache.hits");
         assert_eq!(r.counter("cache.hits"), Some(10));
+    }
+
+    #[test]
+    fn shared_histogram_merges_across_clones() {
+        let h = SharedHistogram::new();
+        let h2 = h.clone();
+        h.record(10);
+        h2.record(30);
+        let mut r = MetricsRegistry::new();
+        h.export(&mut r, "gw.latency");
+        match r.get("gw.latency") {
+            Some(MetricValue::Histogram(hist)) => {
+                assert_eq!(hist.count(), 2);
+                assert_eq!(hist.max(), 30);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
     }
 
     #[test]

@@ -32,12 +32,39 @@ echo "== checkpoint-stats =="
 # the hit-rate line below is the sweep-speedup evidence in miniature.
 cargo run -q --offline --release --bin coaxial -- checkpoint-stats mcf --instr 8000 --warmup 2000
 
+echo "== gateway smoke =="
+# Boot a loopback gateway, prove a served run is byte-identical to the
+# CLI's --json report, check /metrics renders, and drain-shutdown cleanly
+# (the serve process must exit 0 with its stats line).
+BIN=target/release/coaxial
+GWDIR=$(mktemp -d)
+trap 'rm -rf "$GWDIR"' EXIT
+"$BIN" run mcf --config 4x --instr 4000 --warmup 1000 --json > "$GWDIR/cli.json"
+"$BIN" serve --addr 127.0.0.1:0 --port-file "$GWDIR/port.txt" --workers 2 \
+  > "$GWDIR/serve.log" 2>&1 &
+GWPID=$!
+for _ in $(seq 1 100); do
+  [ -s "$GWDIR/port.txt" ] && break
+  sleep 0.1
+done
+ADDR=$(cat "$GWDIR/port.txt")
+"$BIN" http POST "http://$ADDR/v1/run" \
+  '{"workload":"mcf","config":"4x","instructions":4000,"warmup":1000}' \
+  > "$GWDIR/srv.json"
+cmp "$GWDIR/cli.json" "$GWDIR/srv.json"
+echo "gateway report is byte-identical to the CLI"
+"$BIN" http GET "http://$ADDR/metrics" | grep -q "gateway.queue.depth"
+"$BIN" http POST "http://$ADDR/shutdown" ''
+wait "$GWPID"
+cat "$GWDIR/serve.log"
+
 echo "== coaxial-lint =="
 # Workspace static analysis: determinism (D01/D02), timing arithmetic
 # (T01/T02), zero-cost telemetry (Z01), unsafe hygiene (U01), and the
-# cross-file coverage rules (C01, E01/E02/E03, M01) over the symbol graph.
-# Suppressions live in lint-allow.toml; the rule catalog is docs/LINTS.md.
-# CI always runs the full scan; `--changed-only` exists for local loops.
+# cross-file coverage rules (C01, E01/E02/E03/E04, M01) over the symbol
+# graph. Suppressions live in lint-allow.toml; the rule catalog is
+# docs/LINTS.md. CI always runs the full scan; `--changed-only` exists
+# for local loops.
 lint_start=$SECONDS
 cargo run -q --offline -p coaxial-lint --release
 echo "coaxial-lint wall time: $((SECONDS - lint_start))s"

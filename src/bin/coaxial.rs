@@ -12,6 +12,8 @@
 //! coaxial capture <workload> <file> [--ops N]
 //! coaxial replay <file> [opts]            # run a captured .cxtr trace
 //! coaxial checkpoint-stats [workload] [opts] # prefill checkpoint hit rate over two runs
+//! coaxial serve [serve options]           # HTTP gateway: POST /v1/run etc.
+//! coaxial http <METHOD> <url> [body]      # tiny HTTP client for scripts
 //!
 //! common options:
 //!   --config <name>   ddr | 2x | 4x | 5x | asym        (default: 4x)
@@ -19,8 +21,18 @@
 //!   --warmup <n>      warmup instructions per core      (default: 20000)
 //!   --cores <n>       active cores (1..12)              (default: 12)
 //!   --cxl-ns <f>      CXL latency premium override in ns
+//!   --json            run only: emit the report as one JSON line
 //!   --trace-start <c> --trace-end <c>     trace window in cycles
 //!   --trace-cap <n>   trace ring capacity in events     (default: 65536)
+//!
+//! serve options (defaults from COAXIAL_GATEWAY_* env, see coaxial-gateway):
+//!   --addr <host:port>   listen address (":0" picks an ephemeral port)
+//!   --workers <n>        simulation worker threads
+//!   --queue-depth <n>    queued jobs admitted before 429
+//!   --cache-mb <n>       result-cache byte budget, in MB
+//!   --rate <n>           per-client requests/second, 0 disables
+//!   --burst <n>          per-client token-bucket burst
+//!   --port-file <path>   write the bound address here once listening
 //! ```
 
 use std::process::exit;
@@ -38,6 +50,7 @@ struct Opts {
     warmup: u64,
     cores: usize,
     cxl_ns: Option<f64>,
+    json: bool,
     ops: usize,
     trace_start: u64,
     trace_end: u64,
@@ -52,6 +65,7 @@ impl Default for Opts {
             warmup: coaxial::system::server::DEFAULT_WARMUP,
             cores: 12,
             cxl_ns: None,
+            json: false,
             ops: 100_000,
             trace_start: 0,
             trace_end: u64::MAX,
@@ -66,7 +80,7 @@ fn usage() -> ! {
         include_str!("coaxial.rs")
             .lines()
             .skip(2)
-            .take(23)
+            .take(34)
             .map(|l| l.trim_start_matches("//! "))
             .collect::<Vec<_>>()
             .join("\n")
@@ -90,6 +104,7 @@ fn parse_opts(args: &[String]) -> Opts {
             "--warmup" => o.warmup = next().parse().expect("--warmup wants a number"),
             "--cores" => o.cores = next().parse().expect("--cores wants a number"),
             "--cxl-ns" => o.cxl_ns = Some(next().parse().expect("--cxl-ns wants a number")),
+            "--json" => o.json = true,
             "--ops" => o.ops = next().parse().expect("--ops wants a number"),
             "--trace-start" => o.trace_start = next().parse().expect("--trace-start wants a cycle"),
             "--trace-end" => o.trace_end = next().parse().expect("--trace-end wants a cycle"),
@@ -103,22 +118,15 @@ fn parse_opts(args: &[String]) -> Opts {
     o
 }
 
-fn config_by_name(name: &str) -> SystemConfig {
-    match name {
-        "ddr" | "baseline" => SystemConfig::ddr_baseline(),
-        "2x" => SystemConfig::coaxial_2x(),
-        "4x" => SystemConfig::coaxial_4x(),
-        "5x" => SystemConfig::coaxial_5x(),
-        "asym" => SystemConfig::coaxial_asym(),
-        other => {
-            eprintln!("unknown config '{other}' (ddr | 2x | 4x | 5x | asym)");
-            exit(2)
-        }
-    }
+fn or_exit<T>(r: Result<T, coaxial::system::ConfigError>) -> T {
+    r.unwrap_or_else(|e| {
+        eprintln!("{e}");
+        exit(2)
+    })
 }
 
 fn build_config(o: &Opts) -> SystemConfig {
-    let mut cfg = config_by_name(&o.config).with_active_cores(o.cores);
+    let mut cfg = or_exit(or_exit(SystemConfig::by_name(&o.config)).try_with_active_cores(o.cores));
     if let Some(ns) = o.cxl_ns {
         cfg = cfg.with_cxl_latency_ns(ns);
     }
@@ -206,7 +214,13 @@ fn main() {
                 .instructions_per_core(o.instr)
                 .warmup(o.warmup)
                 .run();
-            print_report(&r);
+            if o.json {
+                // Same serializer as the gateway's /v1/run — the bodies
+                // are byte-identical by construction (check.sh cmp's them).
+                println!("{}", coaxial::gateway::report_to_json(&r));
+            } else {
+                print_report(&r);
+            }
         }
         "compare" => {
             let Some(wl) = args.get(1) else { usage() };
@@ -421,6 +435,72 @@ fn main() {
                 .warmup(o.warmup)
                 .run();
             print_report(&r);
+        }
+        "serve" => {
+            let mut cfg = coaxial::gateway::GatewayConfig::from_env();
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                let mut next = || {
+                    it.next().unwrap_or_else(|| {
+                        eprintln!("missing value for {a}");
+                        exit(2)
+                    })
+                };
+                match a.as_str() {
+                    "--addr" => cfg.addr = next().clone(),
+                    "--workers" => {
+                        cfg.workers = next().parse().expect("--workers wants a number");
+                    }
+                    "--queue-depth" => {
+                        cfg.queue_depth = next().parse().expect("--queue-depth wants a number");
+                    }
+                    "--cache-mb" => {
+                        cfg.cache_mb = next().parse().expect("--cache-mb wants a number");
+                    }
+                    "--rate" => cfg.rate_per_sec = next().parse().expect("--rate wants a number"),
+                    "--burst" => cfg.burst = next().parse().expect("--burst wants a number"),
+                    "--port-file" => cfg.port_file = Some(std::path::PathBuf::from(next())),
+                    other => {
+                        eprintln!("unknown option {other}");
+                        exit(2)
+                    }
+                }
+            }
+            match coaxial::gateway::serve(cfg) {
+                Ok(stats) => println!(
+                    "gateway stopped: {} requests, {} jobs done ({} failed), \
+                     {} dedup joins, {} queue rejections",
+                    stats.requests_total,
+                    stats.jobs_completed,
+                    stats.jobs_failed,
+                    stats.dedup_joins,
+                    stats.queue_rejected
+                ),
+                Err(e) => {
+                    eprintln!("serve failed: {e}");
+                    exit(1)
+                }
+            }
+        }
+        "http" => {
+            // Scripts use this where curl may not exist (offline images);
+            // body to stdout, non-2xx/3xx statuses become a non-zero exit.
+            let (Some(method), Some(url)) = (args.get(1), args.get(2)) else { usage() };
+            let body = args.get(3).map(String::as_str).unwrap_or("");
+            match coaxial::gateway::http::client_request(method, url, body.as_bytes()) {
+                Ok(resp) => {
+                    use std::io::Write as _;
+                    std::io::stdout().write_all(&resp.body).expect("stdout");
+                    if resp.status >= 400 {
+                        eprintln!("HTTP {}", resp.status);
+                        exit(1)
+                    }
+                }
+                Err(e) => {
+                    eprintln!("http request failed: {e}");
+                    exit(1)
+                }
+            }
         }
         _ => usage(),
     }

@@ -11,7 +11,9 @@
 //! * [`cpu`] — trace-driven out-of-order core model,
 //! * [`workloads`] — the paper's 36 workloads as synthetic generators,
 //! * [`system`] — full-system assembly, configurations, and every
-//!   table/figure experiment from the paper's evaluation.
+//!   table/figure experiment from the paper's evaluation,
+//! * [`gateway`] — simulation-as-a-service HTTP front end behind
+//!   `coaxial serve` (result cache, in-flight dedup, bounded queue).
 //!
 //! # Quickstart
 //!
@@ -37,6 +39,7 @@ pub use coaxial_cache as cache;
 pub use coaxial_cpu as cpu;
 pub use coaxial_cxl as cxl;
 pub use coaxial_dram as dram;
+pub use coaxial_gateway as gateway;
 pub use coaxial_sim as sim;
 pub use coaxial_system as system;
 pub use coaxial_telemetry as telemetry;
