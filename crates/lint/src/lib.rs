@@ -26,13 +26,19 @@
 //! lexer ([`lexer`]), a recursive-descent *item* parser over the token
 //! stream ([`parser`]) producing per-file item trees, and a
 //! workspace-wide symbol graph ([`symbols`]) recording definitions and
-//! read/write/call references. Per-file rules run over tokens; the
-//! cross-file rules (C01/E01/E02/E03/E04/M01) run over the graph. Resolution is
-//! name-based rather than type-checked, which can only hide violations
-//! on commonly-named fields, never invent them — the right failure
-//! direction for a gate. Residual false positives are handled by a
-//! checked-in suppression file, `lint-allow.toml`, in which every entry
-//! must carry a reason ([`allow`]).
+//! read/write/call references. A resolution pass ([`resolve`]) builds
+//! the module tree from `mod` declarations and file layout, resolves
+//! `use` imports (renames and nested groups included), qualified paths,
+//! and method receivers via lightweight type binding, giving the graph
+//! fully-qualified symbol IDs. Per-file rules run over tokens; the
+//! cross-file rules (C01/E01/E02/E03/E04/E05/M01/L01) run over the
+//! graph. Call and read edges are fq-exact where resolution succeeded
+//! and fall back to name matching for the unresolved remainder, so the
+//! residual imprecision can only hide violations on commonly-named
+//! fields, never invent them — the right failure direction for a gate.
+//! Residual false positives are handled by a checked-in suppression
+//! file, `lint-allow.toml`, in which every entry must carry a reason
+//! ([`allow`]).
 //!
 //! Run as `cargo run -p coaxial-lint --release` (wired into
 //! `scripts/check.sh`); exits non-zero on any unsuppressed finding or any
@@ -41,6 +47,7 @@
 pub mod allow;
 pub mod lexer;
 pub mod parser;
+pub mod resolve;
 pub mod rules;
 pub mod symbols;
 
@@ -179,6 +186,26 @@ pub const CATALOG: &[LintInfo] = &[
                     cannot find it.",
     },
     LintInfo {
+        id: "E05",
+        summary: "every CLI arm reaches a distinct library entry point; every experiment is wired",
+        rationale: "the binary is a thin dispatcher: a match arm that reaches no library fn is \
+                    a subcommand wired to nothing, two arms with identical entry sets mean one \
+                    is a silent alias, and a pub experiment fn unreachable from every arm is \
+                    an experiment nobody can run from the CLI. Reachability runs over the \
+                    resolved call graph, so same-named fns in other modules don't count.",
+    },
+    LintInfo {
+        id: "L01",
+        summary: "no heavy simulation work under a gateway lock; consistent lock order",
+        rationale: "the gateway serves concurrent connections around Mutex-guarded shared \
+                    state: reaching RunSpec::run/parallel_map while a gateway MutexGuard is \
+                    live starves every other connection for the length of a simulation, \
+                    re-acquiring a held std::sync::Mutex self-deadlocks, and two code paths \
+                    acquiring a pair of locks in opposite orders deadlock under load. Guard \
+                    liveness is tracked through let-bound guards, drop() calls, and \
+                    temporaries on the resolved symbol graph.",
+    },
+    LintInfo {
         id: "M01",
         summary: "metric paths are unique lowercase-dot-case; every latency component stamps",
         rationale: "the telemetry registry is stringly-keyed: two subsystems registering the \
@@ -202,6 +229,8 @@ pub struct Report {
     pub suppressed: usize,
     /// Files scanned.
     pub files: usize,
+    /// Wall time per rule ID, sorted by ID. Empty for hand-built reports.
+    pub timings: Vec<(&'static str, std::time::Duration)>,
 }
 
 impl Report {
@@ -238,12 +267,18 @@ impl Report {
                 s.line
             ));
         }
-        out.push_str(&format!(
-            "],\"suppressed\":{},\"files\":{},\"clean\":{}}}",
-            self.suppressed,
-            self.files,
-            self.clean()
-        ));
+        out.push_str(&format!("],\"suppressed\":{},\"files\":{}", self.suppressed, self.files));
+        if !self.timings.is_empty() {
+            out.push_str(",\"timings_ms\":{");
+            for (i, (id, d)) in self.timings.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("{}:{:.3}", json_str(id), d.as_secs_f64() * 1e3));
+            }
+            out.push('}');
+        }
+        out.push_str(&format!(",\"clean\":{}}}", self.clean()));
         out
     }
 }
@@ -298,11 +333,16 @@ pub fn lint_workspace_scoped(
     let ws = symbols::Workspace::from_ctxs(&ctxs);
 
     let mut raw = Vec::new();
+    let mut timing_map = std::collections::BTreeMap::new();
     for ctx in &ctxs {
-        raw.extend(rules::lint_file(ctx, &ws));
+        raw.extend(rules::lint_file_timed(ctx, &ws, &mut timing_map));
     }
-    raw.extend(rules::lint_cross_file(&ws));
-    raw.extend(rules::check_e04(&sources, &rules::E04_SPEC));
+    raw.extend(rules::lint_cross_file_timed(&ws, &ctxs, &mut timing_map));
+    {
+        let t0 = std::time::Instant::now();
+        raw.extend(rules::check_e04(&sources, &rules::E04_SPEC));
+        *timing_map.entry("E04").or_default() += t0.elapsed();
+    }
     raw.sort_by(|a, b| (&a.path, a.line, a.id).cmp(&(&b.path, b.line, b.id)));
 
     let mut used = vec![false; allows.len()];
@@ -325,7 +365,8 @@ pub fn lint_workspace_scoped(
     } else {
         allows.into_iter().zip(&used).filter(|(_, &u)| !u).map(|(a, _)| a).collect()
     };
-    Ok(Report { findings, stale_suppressions, suppressed, files: sources.len() })
+    let timings = timing_map.into_iter().collect();
+    Ok(Report { findings, stale_suppressions, suppressed, files: sources.len(), timings })
 }
 
 /// Every linted `.rs` file under `root` as `(repo-relative path, source)`

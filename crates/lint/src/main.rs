@@ -104,6 +104,20 @@ fn main() -> ExitCode {
         report.suppressed,
         report.stale_suppressions.len(),
     );
+    if !report.timings.is_empty() {
+        // Slowest first, so the rule to optimize when the check.sh wall-time
+        // budget trips is the first thing printed.
+        let mut by_cost: Vec<_> = report.timings.iter().collect();
+        by_cost.sort_by_key(|&(_, d)| std::cmp::Reverse(d));
+        let total: std::time::Duration = by_cost.iter().map(|(_, d)| *d).sum();
+        let cols: Vec<String> =
+            by_cost.iter().map(|(id, d)| format!("{id} {:.1}ms", d.as_secs_f64() * 1e3)).collect();
+        eprintln!(
+            "coaxial-lint: rule wall time {:.1}ms — {}",
+            total.as_secs_f64() * 1e3,
+            cols.join(", ")
+        );
+    }
     if report.clean() {
         ExitCode::SUCCESS
     } else {

@@ -43,12 +43,29 @@ pub struct VariantDef {
 pub struct FnDef {
     /// Binding names of the parameters, receiver (`self`) excluded.
     pub params: Vec<String>,
+    /// Declared type text per entry of `params` (same length; tokens
+    /// joined with spaces, `& mut Cfg`). Pattern parameters share their
+    /// chunk's type text. Feeds the resolver's type binding.
+    pub param_tys: Vec<String>,
     /// Return-type text up to any `where` clause (`-> Self`, empty if
     /// none). Used for contains-checks only.
     pub ret: String,
     /// `(open_brace, close_brace)` indices into the code-token vector the
     /// parser ran over; `None` for bodyless trait methods.
     pub body: Option<(usize, usize)>,
+}
+
+/// One leaf of a `use` tree: the full path plus the local binding name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UseImport {
+    /// Path segments, leading `crate`/`super`/`self` kept verbatim
+    /// (`["std", "collections", "HashMap"]`).
+    pub path: Vec<String>,
+    /// Name the import binds locally: the last segment, or the `as`
+    /// rename. Empty for glob imports.
+    pub alias: String,
+    /// `use path::*` — `path` names the module being flattened in.
+    pub glob: bool,
 }
 
 /// One parsed item.
@@ -64,14 +81,32 @@ pub struct Item {
 
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ItemKind {
-    Struct { fields: Vec<FieldDef> },
-    Enum { variants: Vec<VariantDef> },
+    Struct {
+        fields: Vec<FieldDef>,
+    },
+    Enum {
+        variants: Vec<VariantDef>,
+    },
     Fn(FnDef),
-    Impl { trait_name: Option<String>, items: Vec<Item> },
-    Trait { items: Vec<Item> },
-    Mod { is_test: bool, items: Vec<Item> },
-    Const,
-    Use,
+    Impl {
+        trait_name: Option<String>,
+        items: Vec<Item>,
+    },
+    Trait {
+        items: Vec<Item>,
+    },
+    Mod {
+        is_test: bool,
+        items: Vec<Item>,
+    },
+    /// `const`/`static`; `ty` is the declared type text (space-joined),
+    /// so the resolver can recognize `static X: Mutex<…>` lock roots.
+    Const {
+        ty: String,
+    },
+    Use {
+        imports: Vec<UseImport>,
+    },
 }
 
 /// Parse the item tree of a comment-stripped token stream (see
@@ -231,8 +266,19 @@ impl<'a> Parser<'a> {
                 }
                 self.i += 1;
                 let name = self.ident_text();
+                // Declared type: between the `:` and the `=` (or `;`).
+                let ty_start = if self.at(self.i).is_some_and(|t| t.is_punct(':')) {
+                    self.i + 1
+                } else {
+                    self.i
+                };
+                let mut ty_end = ty_start;
+                while self.at(ty_end).is_some_and(|t| !t.is_punct('=') && !t.is_punct(';')) {
+                    ty_end += 1;
+                }
+                let ty = join(&self.t[ty_start.min(self.t.len())..ty_end.min(self.t.len())]);
                 self.skip_to_semi();
-                out.push(Item { name, line, is_pub, kind: ItemKind::Const });
+                out.push(Item { name, line, is_pub, kind: ItemKind::Const { ty } });
                 (is_pub, cfg_test) = (false, false);
             } else if t.is_ident("use") || t.is_ident("type") || t.is_ident("extern") {
                 let is_use = t.is_ident("use");
@@ -240,11 +286,11 @@ impl<'a> Parser<'a> {
                 let start = self.i;
                 self.skip_to_semi();
                 if is_use {
-                    let path: String = self.t[start..self.i.saturating_sub(1).min(self.t.len())]
-                        .iter()
-                        .map(|t| t.text.as_str())
-                        .collect();
-                    out.push(Item { name: path, line, is_pub, kind: ItemKind::Use });
+                    let end = self.i.saturating_sub(1).min(self.t.len());
+                    let name: String = self.t[start..end].iter().map(|t| t.text.as_str()).collect();
+                    let mut imports = Vec::new();
+                    use_tree(&self.t[start..end], &mut Vec::new(), &mut imports);
+                    out.push(Item { name, line, is_pub, kind: ItemKind::Use { imports } });
                 }
                 (is_pub, cfg_test) = (false, false);
             } else if t.is_ident("macro_rules") {
@@ -396,10 +442,10 @@ impl<'a> Parser<'a> {
         self.i += 1; // fn
         let name = self.ident_text();
         self.skip_generics();
-        let mut params = Vec::new();
+        let (mut params, mut param_tys) = (Vec::new(), Vec::new());
         if self.at(self.i).is_some_and(|t| t.is_punct('(')) {
             let close = self.matching(self.i);
-            params = self.params_in(self.i + 1, close);
+            (params, param_tys) = self.params_in(self.i + 1, close);
             self.i = close + 1;
         }
         // Return type (cut at `where`: bounds are not a return type).
@@ -428,19 +474,30 @@ impl<'a> Parser<'a> {
                 None
             }
         };
-        Item { name, line, is_pub, kind: ItemKind::Fn(FnDef { params, ret, body }) }
+        Item { name, line, is_pub, kind: ItemKind::Fn(FnDef { params, param_tys, ret, body }) }
     }
 
-    /// Parameter binding names: idents before the first `:` of each
-    /// top-level-comma chunk, skipping receivers and `mut`/`ref`/`_`.
-    fn params_in(&self, start: usize, end: usize) -> Vec<String> {
+    /// Parameter binding names plus their declared type text: idents
+    /// before the first `:` of each top-level-comma chunk (skipping
+    /// receivers and `mut`/`ref`/`_`), paired with the tokens after that
+    /// `:`. Pattern params share their chunk's type.
+    fn params_in(&self, start: usize, end: usize) -> (Vec<String>, Vec<String>) {
         let mut out = Vec::new();
+        let mut tys = Vec::new();
         let mut chunk: Vec<usize> = Vec::new();
         let (mut par, mut ang, mut br) = (0i32, 0i32, 0i32);
         for j in start..=end {
             let terminal = j == end || (self.t[j].is_punct(',') && par == 0 && ang == 0 && br == 0);
             if terminal {
                 if !chunk.iter().any(|&k| self.t[k].is_ident("self")) {
+                    let colon = chunk.iter().position(|&k| self.t[k].is_punct(':'));
+                    let ty = colon.map_or(String::new(), |c| {
+                        chunk[c + 1..]
+                            .iter()
+                            .map(|&k| self.t[k].text.as_str())
+                            .collect::<Vec<_>>()
+                            .join(" ")
+                    });
                     for &k in &chunk {
                         let t = &self.t[k];
                         if t.is_punct(':') {
@@ -450,6 +507,7 @@ impl<'a> Parser<'a> {
                             && !matches!(t.text.as_str(), "mut" | "ref" | "_")
                         {
                             out.push(t.text.clone());
+                            tys.push(ty.clone());
                         }
                     }
                 }
@@ -472,7 +530,7 @@ impl<'a> Parser<'a> {
             }
             chunk.push(j);
         }
-        out
+        (out, tys)
     }
 
     fn impl_item(&mut self, line: u32) -> Item {
@@ -555,6 +613,85 @@ pub fn is_call_keyword(name: &str) -> bool {
     STMT_KEYWORDS.contains(&name)
 }
 
+/// Flatten one `use` tree (the tokens between `use` and `;`) into leaf
+/// imports. Handles `::`-separated paths, nested `{…}` groups, `as`
+/// renames, `*` globs, and group-inner `self` (`use m::{self, x}`).
+fn use_tree(toks: &[Tok], prefix: &mut Vec<String>, out: &mut Vec<UseImport>) {
+    let base_len = prefix.len();
+    let mut j = 0;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.kind == TokKind::Ident && !t.is_ident("as") {
+            if t.is_ident("self") && !prefix.is_empty() && j + 1 >= toks.len() {
+                // `use m::{self}` — binds the module itself.
+                out.push(UseImport {
+                    path: prefix.clone(),
+                    alias: prefix.last().cloned().unwrap_or_default(),
+                    glob: false,
+                });
+                prefix.truncate(base_len);
+                return;
+            }
+            prefix.push(t.text.clone());
+            j += 1;
+        } else if t.is_punct(':') {
+            j += 1; // `::` lexes as two `:` puncts
+        } else if t.is_punct('{') {
+            // Nested group: split by top-level commas and recurse.
+            let mut depth = 0usize;
+            let mut close = j;
+            while close < toks.len() {
+                if toks[close].is_punct('{') {
+                    depth += 1;
+                } else if toks[close].is_punct('}') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                close += 1;
+            }
+            let inner = &toks[j + 1..close.min(toks.len())];
+            let mut start = 0;
+            let mut depth = 0i32;
+            for (k, u) in inner.iter().enumerate() {
+                if u.is_punct('{') {
+                    depth += 1;
+                } else if u.is_punct('}') {
+                    depth -= 1;
+                } else if u.is_punct(',') && depth == 0 {
+                    use_tree(&inner[start..k], prefix, out);
+                    start = k + 1;
+                }
+            }
+            if start < inner.len() {
+                use_tree(&inner[start..], prefix, out);
+            }
+            prefix.truncate(base_len);
+            return;
+        } else if t.is_punct('*') {
+            out.push(UseImport { path: prefix.clone(), alias: String::new(), glob: true });
+            prefix.truncate(base_len);
+            return;
+        } else if t.is_ident("as") {
+            let alias = toks.get(j + 1).map(|t| t.text.clone()).unwrap_or_default();
+            out.push(UseImport { path: prefix.clone(), alias, glob: false });
+            prefix.truncate(base_len);
+            return;
+        } else {
+            j += 1;
+        }
+    }
+    if prefix.len() > base_len {
+        out.push(UseImport {
+            path: prefix.clone(),
+            alias: prefix.last().cloned().unwrap_or_default(),
+            glob: false,
+        });
+    }
+    prefix.truncate(base_len);
+}
+
 fn join(toks: &[Tok]) -> String {
     toks.iter().map(|t| t.text.as_str()).collect::<Vec<_>>().join(" ")
 }
@@ -627,8 +764,52 @@ mod tests {
     fn consts_with_array_semicolons_do_not_derail() {
         let items = parse("const TABLE: [u64; 4] = [0; 4]; pub fn after() {}");
         assert_eq!(items[0].name, "TABLE");
-        assert!(matches!(items[0].kind, ItemKind::Const));
+        assert!(matches!(items[0].kind, ItemKind::Const { .. }));
         assert_eq!(items[1].name, "after");
+    }
+
+    #[test]
+    fn statics_capture_their_declared_type() {
+        let items = parse("static STATE: LazyLock<Mutex<BTreeMap<u64, u64>>> = LazyLock::new(f);");
+        let ItemKind::Const { ty } = &items[0].kind else { panic!("{items:?}") };
+        assert!(ty.contains("Mutex"), "{ty}");
+        assert!(!ty.contains("LazyLock :: new"), "initializer excluded: {ty}");
+    }
+
+    #[test]
+    fn fn_param_types_are_captured_per_binding() {
+        let items = parse("fn f(cfg: &SystemConfig, n: u64, (a, b): (u32, u32)) {}");
+        let ItemKind::Fn(f) = &items[0].kind else { panic!() };
+        assert_eq!(f.params, ["cfg", "n", "a", "b"]);
+        assert_eq!(f.param_tys[0], "& SystemConfig");
+        assert_eq!(f.param_tys[1], "u64");
+        assert_eq!(f.param_tys[2], f.param_tys[3], "pattern params share the chunk type");
+    }
+
+    #[test]
+    fn use_trees_resolve_groups_renames_and_globs() {
+        let items = parse(
+            "use std::collections::{BTreeMap, HashMap as Fast};\n\
+             use crate::index::build_index as bi;\n\
+             use coaxial_sim::env::*;\n\
+             use super::state::{self, Gateway};",
+        );
+        let imports: Vec<&UseImport> = items
+            .iter()
+            .filter_map(|i| match &i.kind {
+                ItemKind::Use { imports } => Some(imports.iter()),
+                _ => None,
+            })
+            .flatten()
+            .collect();
+        let leaf = |alias: &str| imports.iter().find(|u| u.alias == alias).unwrap();
+        assert_eq!(leaf("BTreeMap").path, ["std", "collections", "BTreeMap"]);
+        assert_eq!(leaf("Fast").path, ["std", "collections", "HashMap"]);
+        assert_eq!(leaf("bi").path, ["crate", "index", "build_index"]);
+        let glob = imports.iter().find(|u| u.glob).unwrap();
+        assert_eq!(glob.path, ["coaxial_sim", "env"]);
+        assert_eq!(leaf("state").path, ["super", "state"], "group-inner self binds the module");
+        assert_eq!(leaf("Gateway").path, ["super", "state", "Gateway"]);
     }
 
     #[test]

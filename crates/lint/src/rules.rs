@@ -128,36 +128,74 @@ fn is_timing_ident(ident: &str) -> bool {
 /// returning hash collections (D01) and the real sink trait's method set
 /// (Z01).
 pub fn lint_file(ctx: &FileCtx, ws: &Workspace) -> Vec<Finding> {
+    let mut timings = std::collections::BTreeMap::new();
+    lint_file_timed(ctx, ws, &mut timings)
+}
+
+/// Per-file rules, accumulating wall time per rule ID into `timings`.
+pub fn lint_file_timed(
+    ctx: &FileCtx,
+    ws: &Workspace,
+    timings: &mut std::collections::BTreeMap<&'static str, std::time::Duration>,
+) -> Vec<Finding> {
     let mut out = Vec::new();
+    let mut timed = |id: &'static str, f: &mut dyn FnMut() -> Vec<Finding>| {
+        let t0 = std::time::Instant::now();
+        let fs = f();
+        *timings.entry(id).or_default() += t0.elapsed();
+        fs
+    };
     if in_determinism_scope(ctx.rel) {
-        out.extend(check_d01(ctx, &ws.hash_returning_fns()));
+        // Resolved linkage: the visible-name set includes `use … as`
+        // rename aliases of hash-returning fns and drops names shadowed
+        // by provably non-hash locals.
+        out.extend(timed("D01", &mut || check_d01(ctx, &ws.hash_fn_names_for(ctx.rel))));
     }
     if in_model_src(ctx.rel) {
-        out.extend(check_d02(ctx));
+        out.extend(timed("D02", &mut || check_d02(ctx)));
     }
     if in_timing_scope(ctx.rel) {
-        out.extend(check_t01(ctx));
+        out.extend(timed("T01", &mut || check_t01(ctx)));
         if !in_stats_layer(ctx.rel) {
-            out.extend(check_t02(ctx));
+            out.extend(timed("T02", &mut || check_t02(ctx)));
         }
     }
     if in_model_src(ctx.rel) && ctx.src.contains("TelemetrySink") {
         let sinks = ws
-            .trait_method_names("TelemetrySink")
+            .trait_methods_for(ctx.rel, "TelemetrySink")
             .unwrap_or_else(|| SINK_METHODS.iter().map(|s| (*s).to_string()).collect());
-        out.extend(check_z01(ctx, &sinks));
+        out.extend(timed("Z01", &mut || check_z01(ctx, &sinks)));
     }
-    out.extend(check_u01(ctx));
+    out.extend(timed("U01", &mut || check_u01(ctx)));
     out
 }
 
 /// Run every cross-file rule with the real-tree specs.
-pub fn lint_cross_file(ws: &Workspace) -> Vec<Finding> {
-    let mut out = lint_cross_reference(ws);
-    out.extend(check_e01(ws, E01_STRUCTS));
-    out.extend(check_e02(ws, &E02_SPEC));
-    out.extend(check_e03(ws, &E03_SPEC));
-    out.extend(check_m01(ws, &M01_SPEC));
+pub fn lint_cross_file(ws: &Workspace, ctxs: &[FileCtx]) -> Vec<Finding> {
+    let mut timings = std::collections::BTreeMap::new();
+    lint_cross_file_timed(ws, ctxs, &mut timings)
+}
+
+/// Cross-file rules, accumulating wall time per rule ID into `timings`.
+pub fn lint_cross_file_timed(
+    ws: &Workspace,
+    ctxs: &[FileCtx],
+    timings: &mut std::collections::BTreeMap<&'static str, std::time::Duration>,
+) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let mut timed = |id: &'static str, f: &mut dyn FnMut() -> Vec<Finding>| {
+        let t0 = std::time::Instant::now();
+        let fs = f();
+        *timings.entry(id).or_default() += t0.elapsed();
+        fs
+    };
+    out.extend(timed("C01", &mut || lint_cross_reference(ws)));
+    out.extend(timed("E01", &mut || check_e01(ws, E01_STRUCTS)));
+    out.extend(timed("E02", &mut || check_e02(ws, &E02_SPEC)));
+    out.extend(timed("E03", &mut || check_e03(ws, &E03_SPEC)));
+    out.extend(timed("M01", &mut || check_m01(ws, &M01_SPEC)));
+    out.extend(timed("L01", &mut || check_l01(ws, &L01_SPEC)));
+    out.extend(timed("E05", &mut || check_e05(ws, ctxs, &E05_SPEC)));
     out
 }
 
@@ -766,22 +804,23 @@ pub const E01_STRUCTS: &[CoverageSpec<'static>] = &[
 ];
 
 /// E01: every `pub` field of each spec struct has at least one field-read
-/// site in non-test model code. Name-based (see `crate::symbols` docs).
+/// site in non-test model code. Under resolved linkage a typed read only
+/// credits its own struct; unresolved reads fall back to name matching
+/// (see `crate::symbols` docs).
 pub fn check_e01(ws: &Workspace, specs: &[CoverageSpec]) -> Vec<Finding> {
-    let mut reads: BTreeSet<&str> = BTreeSet::new();
+    let mut model_fns: Vec<&FnSym> = Vec::new();
     for (rel, syms) in &ws.files {
         if !in_model_src(rel) {
             continue;
         }
-        for f in syms.fns.iter().filter(|f| !f.in_test) {
-            reads.extend(f.field_reads.iter().map(String::as_str));
-        }
+        model_fns.extend(syms.fns.iter().filter(|f| !f.in_test));
     }
     let mut out = Vec::new();
     for spec in specs {
         let Some(def) = ws.struct_def(spec.config_rel, spec.struct_name) else { continue };
+        let fq = ws.struct_fq(spec.config_rel, spec.struct_name);
         for field in def.fields.iter().filter(|f| f.is_pub) {
-            if !reads.contains(field.name.as_str()) {
+            if !model_fns.iter().any(|f| ws.reads_field(f, fq.as_deref(), &field.name)) {
                 out.push(Finding {
                     id: "E01",
                     path: spec.config_rel.to_string(),
@@ -832,6 +871,115 @@ pub const E02_SPEC: SweepSpec<'static> = SweepSpec {
     ],
 };
 
+/// Call-graph view over a subset of the workspace's non-test fns.
+///
+/// Edges are fq-exact for resolved call sites and name-matched for
+/// unresolved ones — under bare linkage `calls_unresolved == calls`, so
+/// the graph degenerates to the historical name-based BFS.
+struct CallGraph<'w> {
+    nodes: Vec<(&'w str, &'w FnSym)>,
+    by_fq: std::collections::BTreeMap<&'w str, Vec<usize>>,
+    by_name: std::collections::BTreeMap<&'w str, Vec<usize>>,
+    /// When set, name-fallback edges stay within the caller's crate (fq
+    /// edges still cross crates freely). Rules whose findings come from
+    /// *reachability* (L01) use this: a workspace-global name match on
+    /// `new`/`get`/`insert` would connect nearly everything to nearly
+    /// everything, and cross-crate calls go through imports the resolver
+    /// does handle. Coverage-credit rules (E02/E03) keep global name
+    /// edges so imprecision can only hide findings, never invent them.
+    crate_scoped_names: bool,
+}
+
+/// The crate a repo-relative path belongs to, for name-edge scoping.
+fn crate_of(rel: &str) -> &str {
+    let mut it = rel.split('/');
+    match (it.next(), it.next()) {
+        (Some("crates"), Some(c)) => c,
+        _ => "#root",
+    }
+}
+
+impl<'w> CallGraph<'w> {
+    fn build(ws: &'w Workspace, keep: impl Fn(&str) -> bool) -> Self {
+        let mut g = Self {
+            nodes: Vec::new(),
+            by_fq: Default::default(),
+            by_name: Default::default(),
+            crate_scoped_names: false,
+        };
+        for (rel, syms) in &ws.files {
+            if !keep(rel) {
+                continue;
+            }
+            for f in syms.fns.iter().filter(|f| !f.in_test) {
+                let i = g.nodes.len();
+                g.nodes.push((rel.as_str(), f));
+                g.by_fq.entry(f.fq.as_str()).or_default().push(i);
+                g.by_name.entry(f.name.as_str()).or_default().push(i);
+            }
+        }
+        g
+    }
+
+    fn with_crate_scoped_names(mut self) -> Self {
+        self.crate_scoped_names = true;
+        self
+    }
+
+    fn name_targets(&self, from_rel: &str, name: &str) -> Vec<usize> {
+        let mut out: Vec<usize> = self.by_name.get(name).into_iter().flatten().copied().collect();
+        if self.crate_scoped_names {
+            out.retain(|&i| crate_of(self.nodes[i].0) == crate_of(from_rel));
+        }
+        out
+    }
+
+    /// Successor nodes of node `i`, optionally skipping callee names
+    /// (E03's ctor stop-set).
+    fn succs(&self, i: usize, skip: impl Fn(&str) -> bool) -> Vec<usize> {
+        let (rel, f) = self.nodes[i];
+        let mut out = Vec::new();
+        for fq in &f.calls_fq {
+            let name = fq.rsplit("::").next().unwrap_or(fq);
+            if skip(name) {
+                continue;
+            }
+            out.extend(self.by_fq.get(fq.as_str()).into_iter().flatten().copied());
+        }
+        for name in &f.calls_unresolved {
+            if skip(name) {
+                continue;
+            }
+            out.extend(self.name_targets(rel, name));
+        }
+        out
+    }
+
+    /// Nodes a single call site in `from_rel` can dispatch to.
+    fn site_targets(&self, from_rel: &str, site: &crate::symbols::CallSite) -> Vec<usize> {
+        if let Some(fq) = &site.fq {
+            return self.by_fq.get(fq.as_str()).into_iter().flatten().copied().collect();
+        }
+        if site.resolved {
+            return Vec::new(); // std/guard plumbing — accounted, no edge
+        }
+        self.name_targets(from_rel, &site.name)
+    }
+
+    /// Transitive closure from `seeds` (indices), following `succs`.
+    fn reach(&self, seeds: Vec<usize>, skip: impl Fn(&str) -> bool) -> BTreeSet<usize> {
+        let mut seen: BTreeSet<usize> = BTreeSet::new();
+        let mut queue = seeds;
+        while let Some(i) = queue.pop() {
+            if !seen.insert(i) {
+                continue;
+            }
+            queue.extend(self.succs(i, &skip));
+        }
+        seen
+    }
+}
+
 /// E02: a field counts as *exercised* when some config-layer fn reachable
 /// from the experiment/env entry points writes it, and the write either
 /// derives from a fn parameter (a builder the sweep actually varies) or
@@ -843,51 +991,35 @@ pub fn check_e02(ws: &Workspace, spec: &SweepSpec) -> Vec<Finding> {
     let traversable: BTreeSet<&str> =
         spec.exercise_files.iter().chain(spec.layer_files).copied().collect();
 
-    // Name → fns defined in traversable files (tests excluded).
-    let mut by_name: std::collections::BTreeMap<&str, Vec<(&str, &FnSym)>> = Default::default();
-    for (rel, syms) in &ws.files {
-        if !traversable.contains(rel.as_str()) {
-            continue;
-        }
-        for f in syms.fns.iter().filter(|f| !f.in_test) {
-            by_name.entry(f.name.as_str()).or_default().push((rel.as_str(), f));
-        }
-    }
-
-    // BFS from the exercise-file entry points along call names.
-    let mut reachable: BTreeSet<(&str, u32)> = BTreeSet::new();
-    let mut queue: Vec<(&str, &FnSym)> = Vec::new();
-    for rel in spec.exercise_files {
-        if let Some(syms) = ws.files.get(*rel) {
-            for f in syms.fns.iter().filter(|f| !f.in_test) {
-                if reachable.insert((rel, f.line)) {
-                    queue.push((rel, f));
-                }
-            }
-        }
-    }
-    while let Some((_, f)) = queue.pop() {
-        for call in &f.calls {
-            for &(rel2, f2) in by_name.get(call.as_str()).into_iter().flatten() {
-                if reachable.insert((rel2, f2.line)) {
-                    queue.push((rel2, f2));
-                }
-            }
-        }
-    }
+    // BFS from the exercise-file entry points; edges are fq-exact where
+    // resolved, name-matched for the unresolved remainder.
+    let g = CallGraph::build(ws, |rel| traversable.contains(rel));
+    let seeds: Vec<usize> = g
+        .nodes
+        .iter()
+        .enumerate()
+        .filter(|(_, (rel, _))| spec.exercise_files.contains(rel))
+        .map(|(i, _)| i)
+        .collect();
+    let reachable = g.reach(seeds, |_| false);
 
     let mut out = Vec::new();
     for cs in spec.structs {
         let Some(def) = ws.struct_def(cs.config_rel, cs.struct_name) else { continue };
+        let struct_fq = ws.struct_fq(cs.config_rel, cs.struct_name);
         for field in def.fields.iter().filter(|f| f.is_pub) {
             let mut writer_fns: BTreeSet<(&str, u32)> = BTreeSet::new();
             let mut param_derived = false;
-            for &(rel, f) in by_name.values().flatten() {
-                if !reachable.contains(&(rel, f.line)) {
-                    continue;
-                }
+            for &i in &reachable {
+                let (rel, f) = g.nodes[i];
                 for w in &f.writes {
-                    let type_ok = w.type_name.as_deref().is_none_or(|t| t == cs.struct_name);
+                    // Prefer the resolved struct identity when both sides
+                    // carry one — a same-named struct in another module no
+                    // longer credits this spec's field.
+                    let type_ok = match (&w.type_fq, &struct_fq) {
+                        (Some(wfq), Some(sfq)) => wfq == sfq,
+                        _ => w.type_name.as_deref().is_none_or(|t| t == cs.struct_name),
+                    };
                     if w.field == field.name && type_ok && !w.zero_literal {
                         writer_fns.insert((rel, f.line));
                         param_derived |= w.param_derived;
@@ -967,75 +1099,73 @@ fn e03_is_ctor(name: &str) -> bool {
 }
 
 /// E03: no fn reachable from the prefill entry points may read a
-/// timing-half field. Reachability is the same name-based BFS as E02;
-/// the over-approximation (any same-named fn counts as a callee) can only
-/// widen the guarded graph, never shrink it — the right failure direction
-/// for an isolation proof.
+/// timing-half field. Reachability uses the resolved call graph (fq-exact
+/// edges, name-matched for the unresolved remainder); the remaining
+/// over-approximation can only widen the guarded graph, never shrink it —
+/// the right failure direction for an isolation proof. Reads attribute
+/// the same way: a typed read flags only when the receiver resolves to
+/// the timing struct (or holds it in the parent `timing` field); an
+/// unresolved read keeps the old name-match over-approximation.
 pub fn check_e03(ws: &Workspace, spec: &IsolationSpec) -> Vec<Finding> {
     let Some(def) = ws.struct_def(spec.config_rel, spec.timing_struct) else {
         return Vec::new();
     };
     let mut timing_fields: BTreeSet<&str> = def.fields.iter().map(|f| f.name.as_str()).collect();
     timing_fields.insert(spec.timing_field);
+    let timing_fq = ws.struct_fq(spec.config_rel, spec.timing_struct);
 
     let in_walk = |rel: &str| spec.traversal.iter().any(|p| rel.starts_with(p));
-    let mut by_name: std::collections::BTreeMap<&str, Vec<(&str, &FnSym)>> = Default::default();
-    for (rel, syms) in &ws.files {
-        if !in_walk(rel) {
-            continue;
-        }
-        for f in syms.fns.iter().filter(|f| !f.in_test) {
-            by_name.entry(f.name.as_str()).or_default().push((rel.as_str(), f));
-        }
-    }
-
-    let mut reachable: BTreeSet<(&str, u32)> = BTreeSet::new();
-    let mut queue: Vec<(&str, &FnSym)> = Vec::new();
-    for fns in by_name.values() {
-        for &(rel, f) in fns {
-            if f.name.starts_with(spec.entry_prefix) && reachable.insert((rel, f.line)) {
-                queue.push((rel, f));
-            }
-        }
-    }
-    while let Some((_, f)) = queue.pop() {
-        for call in &f.calls {
-            if e03_is_ctor(call) {
-                continue;
-            }
-            for &(rel2, f2) in by_name.get(call.as_str()).into_iter().flatten() {
-                if reachable.insert((rel2, f2.line)) {
-                    queue.push((rel2, f2));
-                }
-            }
-        }
-    }
+    let g = CallGraph::build(ws, in_walk);
+    let seeds: Vec<usize> = g
+        .nodes
+        .iter()
+        .enumerate()
+        .filter(|(_, (_, f))| f.name.starts_with(spec.entry_prefix))
+        .map(|(i, _)| i)
+        .collect();
+    let reachable = g.reach(seeds, e03_is_ctor);
 
     let mut out = Vec::new();
-    for fns in by_name.values() {
-        for &(rel, f) in fns {
-            if !reachable.contains(&(rel, f.line)) {
-                continue;
-            }
-            for field in f.field_reads.iter().filter(|r| timing_fields.contains(r.as_str())) {
-                out.push(Finding {
-                    id: "E03",
-                    path: rel.to_string(),
-                    line: f.line,
-                    ident: field.clone(),
-                    message: format!(
-                        "`{}` is reachable from the prefill entry points but reads \
-                         timing-half field `{field}` — post-prefill checkpoints are keyed \
-                         by the functional config slice alone, so a {} read on the \
-                         prefill call graph silently invalidates every shared checkpoint; \
-                         move the read out of the prefill path or promote the knob into \
-                         the functional half and the key",
-                        f.name, spec.timing_struct
-                    ),
+    for &i in &reachable {
+        let (rel, f) = g.nodes[i];
+        let mut flagged: BTreeSet<&str> = BTreeSet::new();
+        for field in f.reads_unresolved.iter().filter(|r| timing_fields.contains(r.as_str())) {
+            flagged.insert(field.as_str());
+        }
+        for (ty_fq, field) in &f.reads_typed {
+            let on_timing_struct = timing_fq.as_deref() == Some(ty_fq.as_str())
+                && timing_fields.contains(field.as_str());
+            // `cfg.timing` on any struct whose `timing` field holds the
+            // timing half is a read of the half itself.
+            let holds_timing_half = field == spec.timing_field
+                && ws.resolver.as_ref().is_some_and(|r| {
+                    r.field_ty(ty_fq, spec.timing_field)
+                        .and_then(|t| t.ty.as_deref())
+                        .is_some_and(|t| timing_fq.as_deref() == Some(t))
                 });
+            if on_timing_struct || holds_timing_half {
+                flagged.insert(field.as_str());
             }
         }
+        for field in flagged {
+            out.push(Finding {
+                id: "E03",
+                path: rel.to_string(),
+                line: f.line,
+                ident: field.to_string(),
+                message: format!(
+                    "`{}` is reachable from the prefill entry points but reads \
+                     timing-half field `{field}` — post-prefill checkpoints are keyed \
+                     by the functional config slice alone, so a {} read on the \
+                     prefill call graph silently invalidates every shared checkpoint; \
+                     move the read out of the prefill path or promote the knob into \
+                     the functional half and the key",
+                    f.name, spec.timing_struct
+                ),
+            });
+        }
     }
+    out.sort_by(|a, b| (&a.path, a.line, &a.ident).cmp(&(&b.path, b.line, &b.ident)));
     out
 }
 
@@ -1144,18 +1274,33 @@ pub fn check_m01(ws: &Workspace, spec: &MetricSpec) -> Vec<Finding> {
     // `RecordStruct { variant_snake: … }` init in non-test model code, or
     // a derived accessor method of that name on the record struct.
     let Some(en) = ws.enum_def(spec.enum_rel, spec.component_enum) else { return out };
+    let record_fq = ws.struct_fq(spec.enum_rel, spec.record_struct);
     let mut stamped: BTreeSet<String> = BTreeSet::new();
     let mut derived: BTreeSet<String> = BTreeSet::new();
     for (rel, syms) in &ws.files {
         for f in &syms.fns {
             if f.owner.as_deref() == Some(spec.record_struct) {
-                derived.insert(f.name.clone());
+                // With the resolver active, only methods on *the* record
+                // struct count — a same-named struct elsewhere no longer
+                // contributes accessors. Unresolved (`?::…`) owners keep
+                // the name-match credit so imprecision cannot flag.
+                let owner_ok = match &record_fq {
+                    Some(rfq) => f.fq.starts_with('?') || f.fq == format!("{rfq}::{}", f.name),
+                    None => true,
+                };
+                if owner_ok {
+                    derived.insert(f.name.clone());
+                }
             }
             if f.in_test || !in_model_src(rel) {
                 continue;
             }
             for w in &f.writes {
-                if w.type_name.as_deref() == Some(spec.record_struct) && !w.zero_literal {
+                let type_ok = match (&w.type_fq, &record_fq) {
+                    (Some(wfq), Some(rfq)) => wfq == rfq,
+                    _ => w.type_name.as_deref() == Some(spec.record_struct),
+                };
+                if type_ok && !w.zero_literal {
                     stamped.insert(w.field.clone());
                 }
             }
@@ -1436,6 +1581,418 @@ fn env_names_in(literal: &str, prefix: &str) -> Vec<String> {
             out.push(name.to_string());
         }
         rest = &rest[pos + prefix.len()..];
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// L01 — gateway lock discipline
+// ---------------------------------------------------------------------------
+
+/// L01 rule spec: which mutexes are the gateway state locks and which
+/// call-graph nodes count as heavy simulation work.
+pub struct LockSpec<'a> {
+    /// Mutex-identity prefix (fq of the static or `Struct::field` path)
+    /// marking a lock as gateway state.
+    pub guard_prefix: &'a str,
+    /// Heavy entry points (fq) that must never be reachable while a
+    /// gateway guard is live — simulation runs block for seconds, and a
+    /// request thread holding the state lock through one starves every
+    /// other connection.
+    pub forbidden_fqs: &'a [&'a str],
+}
+
+/// The real tree's L01 spec.
+pub const L01_SPEC: LockSpec<'static> = LockSpec {
+    guard_prefix: "coaxial_gateway::",
+    forbidden_fqs: &[
+        "coaxial_system::runner::RunSpec::run",
+        "coaxial_system::runner::parallel_map",
+        "coaxial_system::runner::parallel_map_jobs",
+        "coaxial_system::runner::run_all",
+        "coaxial_system::runner::run_all_jobs",
+    ],
+};
+
+/// L01: lock discipline over the resolved call graph.
+///
+/// (1) No heavy entry point may be reachable from a call site inside a
+/// live gateway-guard region. (2) No fn reachable from inside a region
+/// may re-acquire the same mutex (self-deadlock). (3) A body must not
+/// acquire a mutex it already holds. (4) Every pair of mutexes must be
+/// acquired in one consistent order workspace-wide.
+pub fn check_l01(ws: &Workspace, spec: &LockSpec) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let g = CallGraph::build(ws, |_| true).with_crate_scoped_names();
+    let forbidden: BTreeSet<&str> = spec.forbidden_fqs.iter().copied().collect();
+
+    for (rel, syms) in &ws.files {
+        for f in syms.fns.iter().filter(|f| !f.in_test) {
+            // (3) double-acquisition in one scope.
+            for e in &f.lock_order {
+                if e.held == e.acquired {
+                    out.push(Finding {
+                        id: "L01",
+                        path: rel.clone(),
+                        line: e.line,
+                        ident: f.name.clone(),
+                        message: format!(
+                            "`{}` acquires `{}` while already holding it — a std::sync::Mutex \
+                             is not reentrant, so this self-deadlocks at runtime",
+                            f.name, e.acquired
+                        ),
+                    });
+                }
+            }
+            for region in &f.lock_regions {
+                let gateway = region.mutex.starts_with(spec.guard_prefix);
+                // Seeds: call sites textually inside the guard region.
+                let seeds: Vec<usize> = f
+                    .call_sites
+                    .iter()
+                    .filter(|cs| cs.pos >= region.start && cs.pos < region.end)
+                    .flat_map(|cs| g.site_targets(rel, cs))
+                    .collect();
+                if seeds.is_empty() {
+                    continue;
+                }
+                let reach = g.reach(seeds, |_| false);
+                for &i in &reach {
+                    let (_, callee) = g.nodes[i];
+                    // (1) heavy work under a gateway guard.
+                    if gateway && forbidden.contains(callee.fq.as_str()) {
+                        out.push(Finding {
+                            id: "L01",
+                            path: rel.clone(),
+                            line: region.line,
+                            ident: f.name.clone(),
+                            message: format!(
+                                "`{}` holds gateway lock `{}` while `{}` is reachable — \
+                                 simulation runs block for seconds and would starve every \
+                                 other connection; collect inputs under the lock, drop the \
+                                 guard, then execute",
+                                f.name, region.mutex, callee.fq
+                            ),
+                        });
+                    }
+                    // (2) interprocedural re-acquisition of a held mutex.
+                    if callee.lock_regions.iter().any(|r2| r2.mutex == region.mutex) {
+                        out.push(Finding {
+                            id: "L01",
+                            path: rel.clone(),
+                            line: region.line,
+                            ident: f.name.clone(),
+                            message: format!(
+                                "`{}` holds `{}` while `{}` (which re-acquires it) is \
+                                 reachable — a std::sync::Mutex is not reentrant, so this \
+                                 path self-deadlocks",
+                                f.name, region.mutex, callee.name
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // (4) workspace-wide acquisition-order consistency: the directed graph
+    // `held → acquired` over mutex identities must be acyclic.
+    let mut edges: std::collections::BTreeMap<&str, BTreeSet<&str>> = Default::default();
+    let mut site: std::collections::BTreeMap<(&str, &str), (&str, u32, &str)> = Default::default();
+    for (rel, syms) in &ws.files {
+        for f in syms.fns.iter().filter(|f| !f.in_test) {
+            for e in &f.lock_order {
+                if e.held == e.acquired {
+                    continue; // reported above
+                }
+                edges.entry(&e.held).or_default().insert(&e.acquired);
+                site.entry((&e.held, &e.acquired)).or_insert((rel, e.line, &f.name));
+            }
+        }
+    }
+    // DFS with colors; report one finding per back edge found.
+    let mut color: std::collections::BTreeMap<&str, u8> = Default::default();
+    let nodes: Vec<&str> = edges.keys().copied().collect();
+    fn dfs<'a>(
+        n: &'a str,
+        edges: &std::collections::BTreeMap<&'a str, BTreeSet<&'a str>>,
+        color: &mut std::collections::BTreeMap<&'a str, u8>,
+        back: &mut Vec<(&'a str, &'a str)>,
+    ) {
+        color.insert(n, 1);
+        for &m in edges.get(n).into_iter().flatten() {
+            match color.get(m).copied().unwrap_or(0) {
+                0 => dfs(m, edges, color, back),
+                1 => back.push((n, m)),
+                _ => {}
+            }
+        }
+        color.insert(n, 2);
+    }
+    let mut back = Vec::new();
+    for n in nodes {
+        if color.get(n).copied().unwrap_or(0) == 0 {
+            dfs(n, &edges, &mut color, &mut back);
+        }
+    }
+    for (held, acquired) in back {
+        let (rel, line, fn_name) = site[&(held, acquired)];
+        out.push(Finding {
+            id: "L01",
+            path: rel.to_string(),
+            line,
+            ident: fn_name.to_string(),
+            message: format!(
+                "inconsistent lock order: `{fn_name}` acquires `{acquired}` while holding \
+                 `{held}`, but another path acquires them in the opposite order — pick one \
+                 workspace-wide order or merge the locks"
+            ),
+        });
+    }
+
+    out.sort_by(|a, b| (&a.path, a.line, &a.message).cmp(&(&b.path, b.line, &b.message)));
+    out.dedup_by(|a, b| (&a.path, a.line, &a.message) == (&b.path, b.line, &b.message));
+    out
+}
+
+// ---------------------------------------------------------------------------
+// E05 — CLI-flag reachability
+// ---------------------------------------------------------------------------
+
+/// E05 rule spec: the CLI binary whose dispatch `match` is audited and
+/// the experiments module whose pub fns must all be wired to some arm.
+pub struct CliReachSpec<'a> {
+    pub bin_rel: &'a str,
+    pub experiments_rel: &'a str,
+}
+
+/// The real tree's E05 spec.
+pub const E05_SPEC: CliReachSpec<'static> = CliReachSpec {
+    bin_rel: "src/bin/coaxial.rs",
+    experiments_rel: "crates/system/src/experiments.rs",
+};
+
+/// A parsed dispatch arm: its pattern strings and body token span.
+struct CliArm {
+    names: Vec<String>,
+    line: u32,
+    start: usize,
+    end: usize,
+}
+
+/// Parse the first `match` in `main`'s body into string-pattern arms.
+fn cli_arms(code: &[Tok], body: (usize, usize)) -> Vec<CliArm> {
+    let (open, close) = body;
+    let mut i = open;
+    while i < close && !code[i].is_ident("match") {
+        i += 1;
+    }
+    // The `{` opening the match body: first `{` at bracket/paren depth 0
+    // after the scrutinee expression.
+    let mut depth = 0i32;
+    while i < close {
+        match code[i].text.as_str() {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth -= 1,
+            "{" if depth == 0 => break,
+            _ => {}
+        }
+        i += 1;
+    }
+    if i >= close {
+        return Vec::new();
+    }
+    let match_open = i;
+    // Matching close brace.
+    let mut brace = 0i32;
+    let mut match_close = close;
+    for (j, tok) in code.iter().enumerate().take(close).skip(match_open) {
+        match tok.text.as_str() {
+            "{" => brace += 1,
+            "}" => {
+                brace -= 1;
+                if brace == 0 {
+                    match_close = j;
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    // Arms: `Str (| Str)* [guard] => body` at depth 1.
+    let mut arms = Vec::new();
+    let mut j = match_open + 1;
+    while j < match_close {
+        // Collect leading string patterns.
+        let mut names = Vec::new();
+        let line = code[j].line;
+        while j < match_close && code[j].kind == TokKind::Str {
+            names.push(code[j].text.trim_matches('"').to_string());
+            j += 1;
+            if j < match_close && code[j].is_punct('|') {
+                j += 1;
+            } else {
+                break;
+            }
+        }
+        // Skip to `=>` at depth 0 relative to the arm.
+        let mut d = 0i32;
+        while j < match_close {
+            let t = &code[j];
+            match t.text.as_str() {
+                "(" | "[" | "{" => d += 1,
+                ")" | "]" | "}" => d -= 1,
+                "=" if d == 0 && code.get(j + 1).is_some_and(|n| n.is_punct('>')) => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        if j >= match_close {
+            break;
+        }
+        j += 2; // past `=>`
+        let body_start = j;
+        // Arm body: a block, or an expression up to `,` at depth 0.
+        let mut d = 0i32;
+        while j < match_close {
+            let t = &code[j];
+            match t.text.as_str() {
+                "(" | "[" | "{" => d += 1,
+                ")" | "]" | "}" => {
+                    d -= 1;
+                    if d == 0 && code[body_start].is_punct('{') {
+                        j += 1;
+                        break;
+                    }
+                }
+                "," if d == 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        let body_end = j;
+        if j < match_close && code[j].is_punct(',') {
+            j += 1;
+        }
+        if !names.is_empty() {
+            arms.push(CliArm { names, line, start: body_start, end: body_end });
+        }
+    }
+    arms
+}
+
+/// `true` when `rel` is library code (not the audited binary, not tests).
+fn is_lib_rel(bin_rel: &str, rel: &str) -> bool {
+    if rel == bin_rel || rel.starts_with("src/bin/") {
+        return false;
+    }
+    (rel.starts_with("crates/") && rel.contains("/src/"))
+        || rel == "src/lib.rs"
+        || rel.starts_with("src/")
+}
+
+/// E05: CLI dispatch must be wired, distinct, and complete.
+///
+/// (a) Every string match arm in the binary's dispatch must reach at
+/// least one library fn. (b) No two arms may dispatch to an identical
+/// library entry set — duplicate wiring means one subcommand is a silent
+/// alias. (c) Every pub experiment fn must be reachable from some arm.
+pub fn check_e05(ws: &Workspace, ctxs: &[FileCtx], spec: &CliReachSpec) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let Some(ctx) = ctxs.iter().find(|c| c.rel == spec.bin_rel) else {
+        return out; // synthetic fixture tree without the binary
+    };
+    let Some(bin) = ws.files.get(spec.bin_rel) else { return out };
+    let Some(main) = bin.fns.iter().find(|f| f.name == "main" && f.owner.is_none()) else {
+        return out;
+    };
+    let Some(body) = main.body else { return out };
+
+    let g = CallGraph::build(ws, |_| true);
+    let arms = cli_arms(&ctx.code, body);
+
+    // Per arm: frontier-crossing entry set (first lib node on each path
+    // out of the binary) and the full reachable set.
+    let mut arm_entries: Vec<(String, u32, BTreeSet<String>)> = Vec::new();
+    let mut reach_union: BTreeSet<String> = BTreeSet::new();
+    for arm in &arms {
+        let seeds: Vec<usize> = main
+            .call_sites
+            .iter()
+            .filter(|cs| cs.pos >= arm.start && cs.pos < arm.end)
+            .flat_map(|cs| g.site_targets(spec.bin_rel, cs))
+            .collect();
+        let mut entries: BTreeSet<String> = BTreeSet::new();
+        let mut seen: BTreeSet<usize> = BTreeSet::new();
+        let mut queue = seeds;
+        while let Some(i) = queue.pop() {
+            if !seen.insert(i) {
+                continue;
+            }
+            let (rel, f) = g.nodes[i];
+            if is_lib_rel(spec.bin_rel, rel) {
+                entries.insert(f.fq.clone());
+            }
+            reach_union.insert(f.fq.clone());
+            queue.extend(g.succs(i, |_| false));
+        }
+        let label = arm.names.join("|");
+        if entries.is_empty() {
+            out.push(Finding {
+                id: "E05",
+                path: spec.bin_rel.to_string(),
+                line: arm.line,
+                ident: label.clone(),
+                message: format!(
+                    "CLI arm `{label}` reaches no library entry point — the subcommand is \
+                     accepted but wired to nothing; route it into a pub library fn so the \
+                     behavior is testable outside the binary"
+                ),
+            });
+        }
+        arm_entries.push((label, arm.line, entries));
+    }
+
+    // (b) pairwise-distinct entry sets.
+    for i in 0..arm_entries.len() {
+        for j in i + 1..arm_entries.len() {
+            let (a, _, ea) = &arm_entries[i];
+            let (b, line, eb) = &arm_entries[j];
+            if !ea.is_empty() && ea == eb {
+                out.push(Finding {
+                    id: "E05",
+                    path: spec.bin_rel.to_string(),
+                    line: *line,
+                    ident: b.clone(),
+                    message: format!(
+                        "CLI arms `{a}` and `{b}` dispatch to identical library entry \
+                         points ({}) — one of them is a silent alias; give each arm a \
+                         distinct entry point or merge the arms",
+                        ea.iter().cloned().collect::<Vec<_>>().join(", ")
+                    ),
+                });
+            }
+        }
+    }
+
+    // (c) every pub experiment fn is reachable from some arm.
+    if let Some(exp) = ws.files.get(spec.experiments_rel) {
+        for f in exp.fns.iter().filter(|f| !f.in_test && f.is_pub && f.owner.is_none()) {
+            if !reach_union.contains(&f.fq) {
+                out.push(Finding {
+                    id: "E05",
+                    path: spec.experiments_rel.to_string(),
+                    line: f.line,
+                    ident: f.name.clone(),
+                    message: format!(
+                        "pub experiment fn `{}` is not reachable from any CLI arm — every \
+                         experiment must be runnable from the binary (wire it into a \
+                         subcommand or the `exp` dispatcher) or made private",
+                        f.name
+                    ),
+                });
+            }
+        }
     }
     out
 }

@@ -447,6 +447,7 @@ fn json_report_shape_is_stable() {
         stale_suppressions: vec![],
         suppressed: 2,
         files: 9,
+        timings: vec![],
     };
     assert_eq!(
         report.to_json(),
@@ -537,4 +538,393 @@ fn e04_real_tree_is_clean_and_catches_mutations() {
         findings.iter().any(|f| f.ident == knob),
         "expected an env-knob finding: {findings:#?}"
     );
+}
+
+// ---------------------------------------------------------------------------
+// Resolver-era tests: renamed-import taint, L01/E05 self-tests, cross-link
+// precision, and the ByName-vs-Resolved differential.
+// ---------------------------------------------------------------------------
+
+use coaxial_lint::resolve::Linkage;
+
+/// D01 must see hash iteration through a `use … as` renamed import: the
+/// alias `bi` is a hash-returning fn even though no fn of that *name*
+/// exists anywhere. Bare-name linking cannot know that — the false
+/// negative the resolver closes.
+#[test]
+fn d01_taint_flows_through_renamed_imports() {
+    let index = "use std::collections::HashMap;\n\
+                 pub fn build_index() -> HashMap<u64, u32> { HashMap::new() }\n";
+    let user = "use crate::index::build_index as bi;\n\
+                pub fn scan() -> Vec<u64> {\n    let m = bi();\n    m.keys().copied().collect()\n}\n";
+    let sources = [
+        ("crates/cache/src/lib.rs", "pub mod index;\npub mod user;\n"),
+        ("crates/cache/src/index.rs", index),
+        ("crates/cache/src/user.rs", user),
+    ];
+    let ctx = FileCtx::new("crates/cache/src/user.rs", user);
+
+    let ws = Workspace::from_sources(&sources);
+    let findings = rules::check_d01(&ctx, &ws.hash_fn_names_for("crates/cache/src/user.rs"));
+    assert_fires("D01", &findings, 1);
+
+    let old = Workspace::from_sources_linked(&sources, Linkage::ByName);
+    assert_eq!(
+        rules::check_d01(&ctx, &old.hash_fn_names_for("crates/cache/src/user.rs")),
+        vec![],
+        "name-based linking cannot see through the rename; if this starts firing, \
+         the differential below needs updating"
+    );
+}
+
+/// An alias that *shadows* a hash-fn name with a provably different,
+/// non-hash target must be un-tainted — the precision half of the same
+/// mechanism.
+#[test]
+fn d01_shadowing_alias_untaints() {
+    let sources = [
+        ("crates/cache/src/lib.rs", "pub mod index;\npub mod user;\n"),
+        (
+            "crates/cache/src/index.rs",
+            "use std::collections::HashMap;\n\
+             pub fn build_index() -> HashMap<u64, u32> { HashMap::new() }\n\
+             pub fn build_list() -> Vec<u64> { Vec::new() }\n",
+        ),
+        (
+            "crates/cache/src/user.rs",
+            "use crate::index::build_list as build_index;\n\
+             pub fn scan() -> Vec<u64> {\n    let m = build_index();\n    m.iter().copied().collect()\n}\n",
+        ),
+    ];
+    let ws = Workspace::from_sources(&sources);
+    let names = ws.hash_fn_names_for("crates/cache/src/user.rs");
+    assert!(!names.contains("build_index"), "shadowed alias still tainted: {names:?}");
+    let ctx = FileCtx::new("crates/cache/src/user.rs", sources[2].1);
+    assert_eq!(rules::check_d01(&ctx, &names), vec![]);
+}
+
+/// L01 self-test on a synthetic gateway crate: heavy work reachable under
+/// a live guard, interprocedural re-acquisition, intra-body
+/// double-acquire, and an acquisition-order cycle all fire; the
+/// collect-then-drop twin is clean.
+#[test]
+fn l01_lock_discipline_fires_on_fixture_and_good_twin_is_clean() {
+    let spec = rules::LockSpec {
+        guard_prefix: "coaxial_gw::",
+        forbidden_fqs: &["coaxial_gw::heavy::run_sim"],
+    };
+    let heavy = "pub fn run_sim(n: u64) -> u64 { n * 2 }\n";
+    let bad_state = r#"
+use std::sync::Mutex;
+pub struct Inner { pub jobs: u64 }
+pub static STATE: Mutex<Inner> = Mutex::new(Inner { jobs: 0 });
+pub static AUX: Mutex<u64> = Mutex::new(0);
+
+pub fn heavy_under_lock(n: u64) -> u64 {
+    let g = STATE.lock().unwrap();
+    crate::heavy::run_sim(g.jobs + n)
+}
+
+fn relocks() -> u64 {
+    let g = STATE.lock().unwrap();
+    g.jobs
+}
+
+pub fn reacquires_via_callee() -> u64 {
+    let g = STATE.lock().unwrap();
+    relocks() + g.jobs
+}
+
+pub fn double_acquire() -> u64 {
+    let a = STATE.lock().unwrap();
+    let b = STATE.lock().unwrap();
+    a.jobs + b.jobs
+}
+
+pub fn order_ab() -> u64 {
+    let a = STATE.lock().unwrap();
+    let b = AUX.lock().unwrap();
+    a.jobs + *b
+}
+
+pub fn order_ba() -> u64 {
+    let b = AUX.lock().unwrap();
+    let a = STATE.lock().unwrap();
+    a.jobs + *b
+}
+"#;
+    let good_state = r#"
+use std::sync::Mutex;
+pub struct Inner { pub jobs: u64 }
+pub static STATE: Mutex<Inner> = Mutex::new(Inner { jobs: 0 });
+pub static AUX: Mutex<u64> = Mutex::new(0);
+
+pub fn collect_then_run(n: u64) -> u64 {
+    let jobs = {
+        let g = STATE.lock().unwrap();
+        g.jobs
+    };
+    crate::heavy::run_sim(jobs + n)
+}
+
+pub fn order_ab() -> u64 {
+    let a = STATE.lock().unwrap();
+    let b = AUX.lock().unwrap();
+    a.jobs + *b
+}
+
+pub fn order_ab_again() -> u64 {
+    let a = STATE.lock().unwrap();
+    let b = AUX.lock().unwrap();
+    a.jobs + *b
+}
+"#;
+    let lib = "pub mod heavy;\npub mod state;\n";
+    let ws = Workspace::from_sources(&[
+        ("crates/gw/src/lib.rs", lib),
+        ("crates/gw/src/heavy.rs", heavy),
+        ("crates/gw/src/state.rs", bad_state),
+    ]);
+    let findings = rules::check_l01(&ws, &spec);
+    let has = |frag: &str, ident: &str| {
+        findings.iter().any(|f| f.ident == ident && f.message.contains(frag))
+    };
+    assert!(has("holds gateway lock", "heavy_under_lock"), "{findings:#?}");
+    assert!(has("re-acquires", "reacquires_via_callee"), "{findings:#?}");
+    assert!(has("already holding", "double_acquire"), "{findings:#?}");
+    assert!(
+        has("opposite order", "order_ab") || has("opposite order", "order_ba"),
+        "{findings:#?}"
+    );
+
+    let ws = Workspace::from_sources(&[
+        ("crates/gw/src/lib.rs", lib),
+        ("crates/gw/src/heavy.rs", heavy),
+        ("crates/gw/src/state.rs", good_state),
+    ]);
+    assert_eq!(rules::check_l01(&ws, &spec), vec![], "collect-then-drop twin must be clean");
+}
+
+/// E05 self-test on a synthetic binary: an arm wired to nothing, a
+/// silent-alias arm pair, and an orphaned pub experiment all fire; the
+/// fully wired twin is clean.
+#[test]
+fn e05_cli_reachability_fires_on_fixture_and_good_twin_is_clean() {
+    let spec = rules::CliReachSpec {
+        bin_rel: "src/bin/fixtool.rs",
+        experiments_rel: "crates/fixlib/src/exp.rs",
+    };
+    let exp = r#"
+pub fn alpha(n: u64) -> u64 { n + 1 }
+pub fn beta() -> u64 { alpha(41) }
+pub fn orphan() -> u64 { 7 }
+"#;
+    let bad_bin = r#"
+use fixlib::exp::{alpha, beta};
+fn main() {
+    let a: Vec<String> = std::env::args().collect();
+    match a[1].as_str() {
+        "alpha" => { alpha(1); }
+        "beta" | "b" => { beta(); }
+        "dup" => { beta(); }
+        "nothing" => { let x = 1 + 2; let _ = x; }
+        _ => {}
+    }
+}
+"#;
+    let good_bin = r#"
+use fixlib::exp::{alpha, beta, orphan};
+fn main() {
+    let a: Vec<String> = std::env::args().collect();
+    match a[1].as_str() {
+        "alpha" => { alpha(1); }
+        "beta" | "b" => { beta(); }
+        "orphan" => { orphan(); }
+        _ => {}
+    }
+}
+"#;
+    let lib = "pub mod exp;\n";
+    let run = |bin: &str| {
+        let sources = [
+            ("crates/fixlib/src/lib.rs", lib),
+            ("crates/fixlib/src/exp.rs", exp),
+            ("src/bin/fixtool.rs", bin),
+        ];
+        let ctxs: Vec<FileCtx> = sources.iter().map(|(rel, src)| FileCtx::new(rel, src)).collect();
+        let ws = Workspace::from_sources(&sources);
+        rules::check_e05(&ws, &ctxs, &spec)
+    };
+    let findings = run(bad_bin);
+    let idents: BTreeSet<&str> = findings.iter().map(|f| f.ident.as_str()).collect();
+    for want in ["nothing", "dup", "orphan"] {
+        assert!(idents.contains(want), "missing E05 {want}: {findings:#?}");
+    }
+    assert!(findings.iter().all(|f| f.id == "E05"), "{findings:#?}");
+
+    assert_eq!(run(good_bin), vec![], "fully wired twin must be clean");
+}
+
+/// Load the real tree, apply rewrites, append extra files, and build the
+/// workspace under `linkage` (with matching `FileCtx`s for the rules that
+/// want them).
+fn real_tree_with(
+    extra: &[(&str, &str)],
+    rewrite: Option<Mutation>,
+    linkage: Linkage,
+) -> (Vec<(String, String)>, Workspace) {
+    let root = repo_root();
+    let mut sources =
+        coaxial_lint::workspace_sources(std::path::Path::new(&root)).expect("readable tree");
+    if let Some((rel, f)) = rewrite {
+        let entry = sources.iter_mut().find(|(r, _)| r == rel).expect("rewrite target");
+        entry.1 = f(&entry.1);
+    }
+    for (rel, src) in extra {
+        sources.push(((*rel).to_string(), (*src).to_string()));
+    }
+    let pairs: Vec<(&str, &str)> = sources.iter().map(|(r, s)| (r.as_str(), s.as_str())).collect();
+    let ws = Workspace::from_sources_linked(&pairs, linkage);
+    (sources, ws)
+}
+
+/// A same-named `DramTimings` in a different crate whose own field is
+/// read must NOT credit the real `DramTimings` field: E01 keeps flagging
+/// the injected phantom under resolved linkage, while bare-name linkage
+/// is fooled — the cross-link false negative the resolver removes.
+#[test]
+fn e01_does_not_cross_link_same_named_structs() {
+    let decoy = "pub struct DramTimings { pub t_phantom: u64 }\n\
+                 pub fn poke(t: &DramTimings) -> u64 { t.t_phantom }\n";
+    let add_field = |src: &str| {
+        src.replace("pub t_faw: Cycle,", "pub t_faw: Cycle,\n    pub t_phantom: Cycle,")
+    };
+    let run = |linkage| {
+        let (_, ws) = real_tree_with(
+            &[("crates/workloads/src/decoy_timings.rs", decoy)],
+            Some(("crates/dram/src/config.rs", &add_field)),
+            linkage,
+        );
+        let idents: Vec<String> =
+            rules::check_e01(&ws, rules::E01_STRUCTS).into_iter().map(|f| f.ident).collect();
+        idents
+    };
+    assert!(
+        run(Linkage::Resolved).contains(&"t_phantom".to_string()),
+        "resolved linkage let a decoy-crate read credit the real field"
+    );
+    assert!(
+        !run(Linkage::ByName).contains(&"t_phantom".to_string()),
+        "ByName is expected to be fooled by the decoy; if this starts failing the \
+         differential premise changed"
+    );
+}
+
+/// A local struct in the prefill path with a field *named like* a timing
+/// knob must not trip E03: the typed read resolves to the decoy struct,
+/// not the timing config. Bare-name linkage false-positives on it.
+#[test]
+fn e03_does_not_cross_link_same_named_fields() {
+    let inject = |src: &str| {
+        let s = src.replace(
+            "let llc_lines_total =",
+            "let decoy = PrefillDecoy { calm_epoch: 3 };\n        \
+             let _decoy_read = decoy.calm_epoch;\n        let llc_lines_total =",
+        );
+        format!("{s}\nstruct PrefillDecoy {{ calm_epoch: u64 }}\n")
+    };
+    let run = |linkage| {
+        let (_, ws) = real_tree_with(&[], Some(("crates/system/src/server.rs", &inject)), linkage);
+        rules::check_e03(&ws, &rules::E03_SPEC)
+    };
+    assert_eq!(
+        run(Linkage::Resolved),
+        vec![],
+        "a typed read of a non-timing struct must not be flagged"
+    );
+    assert!(
+        run(Linkage::ByName).iter().any(|f| f.ident == "calm_epoch"),
+        "ByName is expected to false-positive on the decoy field name"
+    );
+}
+
+/// A different crate's own `TelemetrySink` trait (different methods) must
+/// shadow the telemetry crate's for files in that module: a same-named
+/// inherent method `.on_miss()` there is not a sink call. Bare-name
+/// linkage falls back to the global trait and false-positives.
+#[test]
+fn z01_does_not_cross_link_same_named_traits() {
+    let decoy = "pub trait TelemetrySink { fn frobnicate(&mut self); }\n\
+                 pub struct Probe;\n\
+                 impl Probe { pub fn on_miss(&mut self) {} }\n\
+                 pub fn poke(p: &mut Probe) { p.on_miss(); }\n";
+    let rel = "crates/workloads/src/decoy_sink.rs";
+    let fallback = || ["on_miss", "on_span", "on_reset"].iter().map(|s| (*s).to_string()).collect();
+    let run = |linkage| {
+        let (_, ws) = real_tree_with(&[(rel, decoy)], None, linkage);
+        let sinks = ws.trait_methods_for(rel, "TelemetrySink").unwrap_or_else(fallback);
+        let ctx = FileCtx::new(rel, decoy);
+        rules::check_z01(&ctx, &sinks)
+    };
+    assert_eq!(
+        run(Linkage::Resolved),
+        vec![],
+        "the local trait (no on_miss) must shadow the telemetry crate's"
+    );
+    assert!(
+        run(Linkage::ByName).iter().any(|f| f.ident == "on_miss"),
+        "ByName is expected to false-positive via the global trait lookup"
+    );
+}
+
+/// The acceptance differential: run the full rule battery under the old
+/// bare-name linkage and the new resolved linkage over the real tree and
+/// account for every finding-set delta. Resolved-only findings would be
+/// regressions (the tree is kept clean); ByName-only findings must each
+/// be an understood false positive of name-based linking.
+#[test]
+fn precision_differential_old_vs_new_linkage_is_fully_accounted() {
+    let battery = |linkage| -> BTreeSet<(String, String, String)> {
+        let (sources, ws) = real_tree_with(&[], None, linkage);
+        let ctxs: Vec<FileCtx> = sources.iter().map(|(rel, src)| FileCtx::new(rel, src)).collect();
+        let mut timings = std::collections::BTreeMap::new();
+        let mut raw = Vec::new();
+        for ctx in &ctxs {
+            raw.extend(rules::lint_file_timed(ctx, &ws, &mut timings));
+        }
+        raw.extend(rules::lint_cross_file_timed(&ws, &ctxs, &mut timings));
+        raw.into_iter().map(|f| (f.id.to_string(), f.path, f.ident)).collect()
+    };
+    let new = battery(Linkage::Resolved);
+    let old = battery(Linkage::ByName);
+
+    // No new findings appear under resolution: the tree is kept clean and
+    // resolution only ever *narrows* what a reference can mean.
+    let new_only: Vec<_> = new.difference(&old).collect();
+    assert_eq!(new_only, Vec::<&(String, String, String)>::new());
+
+    // ByName-only findings, each an understood bare-name false positive.
+    // Under name linkage every unresolved `.parse()`/`.get()`/`.join()`
+    // call links to every same-named fn workspace-wide, so distinct CLI
+    // arms' library entry sets explode into near-identical unions and
+    // E05's silent-alias check (b) misfires on the second arm of the
+    // colliding pair (`run`/`http`, `compare`/`sweep-latency`). The
+    // resolver keeps the sets distinct, which is exactly the precision
+    // the rebase bought. Any NEW delta beyond these two must be
+    // re-derived and documented here.
+    let old_only: BTreeSet<_> = old.difference(&new).cloned().collect();
+    let expected: BTreeSet<(String, String, String)> = [
+        ("E05".into(), "src/bin/coaxial.rs".into(), "http".into()),
+        ("E05".into(), "src/bin/coaxial.rs".into(), "sweep-latency".into()),
+    ]
+    .into_iter()
+    .collect();
+    assert_eq!(old_only, expected, "unaccounted linkage delta");
+
+    // C01's ident-credit scan is deliberately name-based (documented
+    // imprecision): identical findings under both linkages.
+    let c01 = |set: &BTreeSet<(String, String, String)>| -> BTreeSet<_> {
+        set.iter().filter(|(id, _, _)| id == "C01").cloned().collect()
+    };
+    assert_eq!(c01(&new), c01(&old), "C01 must be linkage-independent");
 }

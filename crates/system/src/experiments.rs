@@ -753,6 +753,85 @@ pub fn seed_stability(
         .collect()
 }
 
+// ───────────────────────── Named dispatch ────────────────────
+
+/// Experiment names accepted by [`run_named`], in `coaxial exp` help order.
+pub const EXPERIMENT_NAMES: &[&str] = &[
+    "fig2a",
+    "baseline",
+    "fig5",
+    "fig6",
+    "fig6-weighted",
+    "fig7",
+    "fig8",
+    "fig10",
+    "fig11",
+    "dram-timing",
+    "core-scaling",
+    "prefetch",
+    "seeds",
+];
+
+fn debug_rows<T: std::fmt::Debug>(rows: &[T]) -> String {
+    rows.iter().map(|r| format!("{r:?}")).collect::<Vec<_>>().join("\n")
+}
+
+/// Run the named experiment at `budget` and render its rows as text — the
+/// `coaxial exp <name>` entry point. Every public runner in this module
+/// must stay reachable from here or a bespoke subcommand (lint E05
+/// enforces that workspace-wide), so an experiment is not "done" until it
+/// has a name. Returns `None` for an unknown name; see
+/// [`EXPERIMENT_NAMES`].
+///
+/// Arguments beyond the budget use laptop-scale defaults — these arms are
+/// smoke-runnable entry points, not the full paper sweeps (the
+/// `coaxial-bench` targets own those).
+pub fn run_named(name: &str, budget: Budget) -> Option<String> {
+    Some(match name {
+        "fig2a" => debug_rows(&fig2a_load_latency(&[0.2, 0.4, 0.6, 0.8], 200_000)),
+        "baseline" => debug_rows(&baseline_characterization(budget)),
+        "fig5" => {
+            let cmp = fig5_main(budget);
+            let t5 = table5_inputs(&cmp);
+            let lines: Vec<String> = cmp
+                .iter()
+                .map(|r| format!("{:<15} speedup {:.3}", r.workload, r.speedup))
+                .collect();
+            format!("{}\ngeomean speedup {:.3}\n{t5:?}", lines.join("\n"), geomean_speedup(&cmp))
+        }
+        "fig6" => debug_rows(&fig6_mixes(4, budget)),
+        "fig6-weighted" => debug_rows(&fig6_mixes_full(2, budget, true)),
+        "fig7" => {
+            let mechs: Vec<String> =
+                calm_mechanisms().iter().map(|m| m.label().to_string()).collect();
+            format!(
+                "mechanisms: {}\n{}",
+                mechs.join(", "),
+                debug_rows(&fig7_calm(&["mcf", "stream-add"], budget))
+            )
+        }
+        "fig8" => debug_rows(&fig8_variants(budget)),
+        "fig10" => debug_rows(&fig10_latency_sensitivity(&[10.0, 50.0, 90.0], budget)),
+        "fig11" => debug_rows(&fig11_core_utilization(&[4, 8, 12], budget)),
+        "dram-timing" => {
+            let rows = dram_timing_scale(&[0.75, 1.0, 1.5], &["stream-add", "mcf"], budget);
+            format!(
+                "{}\ncoax geomean of geomeans {:.3}",
+                debug_rows(&rows),
+                geomean(rows.iter().map(|r| r.coax_geomean_ipc))
+            )
+        }
+        "core-scaling" => debug_rows(&core_scaling(&[6, 12], &["mcf"], budget)),
+        "prefetch" => debug_rows(&prefetch_sweep(
+            &[PrefetchPolicy::NextLine { degree: 2 }],
+            &["stream-add"],
+            budget,
+        )),
+        "seeds" => debug_rows(&seed_stability(&[1, 2, 3], &["mcf"], budget)),
+        _ => return None,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -770,6 +849,13 @@ mod tests {
         assert!(tail_growth > mean_growth, "tail {tail_growth:.2}x vs mean {mean_growth:.2}x");
         // Unloaded latency is DRAM-like (tens of ns).
         assert!(pts[0].avg_ns > 15.0 && pts[0].avg_ns < 80.0, "{}", pts[0].avg_ns);
+    }
+
+    #[test]
+    fn run_named_dispatches_known_names_only() {
+        assert!(run_named("not-an-experiment", Budget::quick()).is_none());
+        let out = run_named("fig2a", Budget::quick()).expect("fig2a is dispatchable");
+        assert!(out.contains("LoadLatencyPoint"), "{out}");
     }
 
     #[test]

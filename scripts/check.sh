@@ -60,13 +60,24 @@ cat "$GWDIR/serve.log"
 
 echo "== coaxial-lint =="
 # Workspace static analysis: determinism (D01/D02), timing arithmetic
-# (T01/T02), zero-cost telemetry (Z01), unsafe hygiene (U01), and the
-# cross-file coverage rules (C01, E01/E02/E03/E04, M01) over the symbol
-# graph. Suppressions live in lint-allow.toml; the rule catalog is
-# docs/LINTS.md. CI always runs the full scan; `--changed-only` exists
-# for local loops.
+# (T01/T02), zero-cost telemetry (Z01), unsafe hygiene (U01), the
+# cross-file coverage rules (C01, E01/E02/E03/E04/E05, M01), and lock
+# discipline (L01) over the resolved symbol graph. Suppressions live in
+# lint-allow.toml; the rule catalog is docs/LINTS.md. CI always runs the
+# full scan; `--changed-only` exists for local loops. The JSON report is
+# written next to the text run (CI uploads it as an artifact) and the
+# scan must stay inside a wall-time budget so the resolver/graph tiers
+# never quietly turn the gate sluggish — the per-rule breakdown on
+# stderr names the rule to optimize when this trips.
 lint_start=$SECONDS
 cargo run -q --offline -p coaxial-lint --release
-echo "coaxial-lint wall time: $((SECONDS - lint_start))s"
+cargo run -q --offline -p coaxial-lint --release -- --format json \
+  > "${LINT_REPORT_PATH:-target/coaxial-lint-report.json}"
+lint_wall=$((SECONDS - lint_start))
+echo "coaxial-lint wall time: ${lint_wall}s (budget ${LINT_BUDGET_SECS:=60}s)"
+if [ "$lint_wall" -gt "$LINT_BUDGET_SECS" ]; then
+  echo "coaxial-lint exceeded its ${LINT_BUDGET_SECS}s wall-time budget" >&2
+  exit 1
+fi
 
 echo "check.sh: all green"

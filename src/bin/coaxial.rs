@@ -12,6 +12,7 @@
 //! coaxial capture <workload> <file> [--ops N]
 //! coaxial replay <file> [opts]            # run a captured .cxtr trace
 //! coaxial checkpoint-stats [workload] [opts] # prefill checkpoint hit rate over two runs
+//! coaxial exp <name> [opts]               # one paper experiment by name
 //! coaxial serve [serve options]           # HTTP gateway: POST /v1/run etc.
 //! coaxial http <METHOD> <url> [body]      # tiny HTTP client for scripts
 //!
@@ -38,7 +39,7 @@
 use std::process::exit;
 
 use coaxial::cpu::tracefile;
-use coaxial::system::experiments::{latency_breakdown, Budget};
+use coaxial::system::experiments::{latency_breakdown, run_named, Budget, EXPERIMENT_NAMES};
 use coaxial::system::runner::{run_all, RunSpec};
 use coaxial::system::{RunReport, Simulation, SystemConfig};
 use coaxial::telemetry::TelemetryRecorder;
@@ -80,7 +81,7 @@ fn usage() -> ! {
         include_str!("coaxial.rs")
             .lines()
             .skip(2)
-            .take(34)
+            .take(35)
             .map(|l| l.trim_start_matches("//! "))
             .collect::<Vec<_>>()
             .join("\n")
@@ -435,6 +436,21 @@ fn main() {
                 .warmup(o.warmup)
                 .run();
             print_report(&r);
+        }
+        "exp" => {
+            let Some(name) = args.get(1) else { usage() };
+            let o = parse_opts(&args[2..]);
+            let budget = Budget { instructions: o.instr, warmup: o.warmup };
+            match run_named(name, budget) {
+                Some(out) => println!("{out}"),
+                None => {
+                    eprintln!(
+                        "unknown experiment '{name}' — available: {}",
+                        EXPERIMENT_NAMES.join(", ")
+                    );
+                    exit(2)
+                }
+            }
         }
         "serve" => {
             let mut cfg = coaxial::gateway::GatewayConfig::from_env();
