@@ -49,6 +49,9 @@ pub mod trace_pid {
     pub const MEM_CHANNEL_BASE: u32 = 200;
     /// Aggregate bandwidth-over-time counter track (Perfetto "C" events).
     pub const MEM_BW: u32 = 300;
+    /// Interval-sampling phase lane: one span per detailed measurement
+    /// interval of a SMARTS-style sampled run (`tid` = interval index).
+    pub const SAMPLING: u32 = 400;
 }
 
 /// Outcome of [`Hierarchy::access`].
@@ -386,6 +389,39 @@ impl<B: MemoryBackend, T: TelemetrySink> Hierarchy<B, T> {
         let llc: Vec<_> = (0..cfg.cores)
             .map(|_| CacheArray::new(cfg.llc_bytes_per_core, cfg.llc_assoc))
             .collect();
+        Self::build(cfg, backend, tel, l1, l2, llc)
+    }
+
+    /// Consume this hierarchy at an interval boundary and rebuild it for
+    /// the next detailed measurement interval (SMARTS-style sampling).
+    ///
+    /// The warmed cache arrays — exactly the state the functional prefill
+    /// and fast-forward paths maintain, per the [`PrefillState`] contract —
+    /// move into the new hierarchy without copying. Everything timing-
+    /// related (mesh, MSHRs, CALM engine, stride tables, event heaps,
+    /// transaction tables, stats, the clock) restarts fresh at cycle 0 on
+    /// the supplied `backend`, so a measurement interval starts from the
+    /// same clean timing state a fresh run would, warmed caches aside; the
+    /// per-interval detailed warm-up then re-warms that timing state before
+    /// measurement begins. The telemetry sink is carried over so interval-
+    /// boundary events accumulate in one trace.
+    pub fn into_interval(self, backend: B) -> Self {
+        let Self { cfg, l1, l2, llc, tel, .. } = self;
+        Self::build(cfg, backend, tel, l1, l2, llc)
+    }
+
+    /// Shared constructor body: assemble a hierarchy around already-built
+    /// cache arrays. Every non-array field starts from scratch here, which
+    /// is what makes [`Hierarchy::into_interval`] future-proof — a new
+    /// field added to the struct must be initialized in exactly one place.
+    fn build(
+        cfg: HierarchyConfig,
+        backend: B,
+        tel: T,
+        l1: Vec<CacheArray>,
+        l2: Vec<CacheArray>,
+        llc: Vec<CacheArray>,
+    ) -> Self {
         let mesh = Mesh::new(cfg.cores, cfg.mem_channels, cfg.noc_cycles_per_hop);
         let mshr = (0..cfg.cores).map(|_| Mshr::new(cfg.l2_mshrs)).collect();
         let calm = CalmEngine::with_epoch(

@@ -143,6 +143,20 @@ impl Core {
         self.stall_cycles = 0;
     }
 
+    /// Consume the core and hand back its trace source so the workload
+    /// stream can continue past this measurement interval (SMARTS-style
+    /// interval sampling: the next fast-forward span picks up exactly where
+    /// the detailed core stopped fetching).
+    ///
+    /// Any in-flight pipeline contents (ROB entries, a partially dispatched
+    /// `staged` op, waiting/outstanding accesses) are deliberately dropped —
+    /// the sampling driver re-warms pipeline state at the start of the next
+    /// detailed interval, and dropping is deterministic, so sampled runs
+    /// stay byte-identical for a given seed.
+    pub fn into_trace(self) -> Box<dyn TraceSource> {
+        self.trace
+    }
+
     /// Is the entry with `seq` complete (or already retired)?
     #[inline]
     fn entry_done(&self, seq: u64) -> bool {

@@ -24,5 +24,5 @@ pub mod trace;
 pub mod tracefile;
 
 pub use crate::core::{Core, CoreParams};
-pub use trace::{MemKind, TraceOp, TraceSource, VecTrace};
+pub use trace::{functional_advance, MemKind, TraceOp, TraceSource, VecTrace};
 pub use tracefile::FileTrace;

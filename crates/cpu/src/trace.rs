@@ -100,6 +100,30 @@ pub trait TraceSource {
     }
 }
 
+/// Advance a trace source functionally by at least `instructions`
+/// instructions, feeding each memory access to `sink` as
+/// `(line address, is-store)`. No timing model is involved — this is the
+/// fast-forward half of SMARTS-style interval sampling, driving the same
+/// functional cache path the prefill machinery uses.
+///
+/// Returns the number of instructions actually consumed. The count can
+/// overshoot `instructions` by up to one op's `nonmem_before` gap because
+/// trace records are consumed whole; callers needing exact accounting use
+/// the return value. `instructions == 0` consumes nothing.
+pub fn functional_advance(
+    src: &mut dyn TraceSource,
+    instructions: u64,
+    mut sink: impl FnMut(u64, bool),
+) -> u64 {
+    let mut done = 0u64;
+    while done < instructions {
+        let op = src.next_op();
+        done += op.instructions();
+        sink(op.line_addr, op.kind == MemKind::Store);
+    }
+    done
+}
+
 /// A trace that replays a fixed vector of records forever. Mostly useful
 /// in tests and microbenchmarks.
 #[derive(Debug, Clone)]

@@ -43,7 +43,7 @@ pub mod request;
 pub mod server;
 pub mod state;
 
-pub use report::report_to_json;
+pub use report::{report_to_json, sampled_report_to_json};
 pub use server::{serve, GatewayStats};
 pub use state::Gateway;
 

@@ -7,7 +7,7 @@
 
 use std::fmt::Write as _;
 
-use coaxial_system::RunReport;
+use coaxial_system::{RunReport, SampledReport};
 
 use crate::json::{emit_f64, escape};
 
@@ -68,6 +68,38 @@ pub fn report_to_json(r: &RunReport) -> String {
     );
     let _ = write!(out, ",\"cycles\":{}", r.cycles);
     let _ = write!(out, ",\"instructions\":{}", r.instructions);
+    out.push('}');
+    out
+}
+
+/// Render a sampled run: the [`report_to_json`] object plus one extra
+/// `"sampling"` member carrying the interval-sampling metadata (mean, CI
+/// half-width, interval counts, the detail/fast-forward instruction split,
+/// and the raw per-interval samples).
+#[must_use]
+pub fn sampled_report_to_json(r: &SampledReport) -> String {
+    let mut out = report_to_json(&r.report);
+    out.pop(); // re-open the report object to append the sampling member
+    let s = &r.sampling;
+    let _ = write!(
+        out,
+        ",\"sampling\":{{\"intervals_planned\":{},\"intervals_run\":{},\"early_stopped\":{},\
+         \"warm_per_interval\":{},\"measure_per_interval\":{},\"horizon_instructions\":{},\
+         \"detail_instructions\":{},\"fast_forward_instructions\":{},\"ci_target\":{},\
+         \"ipc_mean\":{},\"ipc_ci_half\":{},\"ipc_samples\":[{}]}}",
+        s.intervals_planned,
+        s.intervals_run,
+        s.early_stopped,
+        s.warm_per_interval,
+        s.measure_per_interval,
+        s.horizon_instructions,
+        s.detail_instructions,
+        s.fast_forward_instructions,
+        emit_f64(s.ci_target),
+        emit_f64(s.ipc_mean),
+        emit_f64(s.ipc_ci_half),
+        s.ipc_samples.iter().map(|&v| emit_f64(v)).collect::<Vec<_>>().join(",")
+    );
     out.push('}');
     out
 }

@@ -196,6 +196,9 @@ fn worker_loop(gw: &Gateway) {
             inner.cache.insert(key, body, bytes);
         }
         inner.inflight.remove(&key);
+        // Bounded retention: keep only the most recent terminal jobs in
+        // the table (the body above stays reachable via the cache).
+        inner.retire_job(id);
         drop(inner);
         gw.done_cv.notify_all();
     }
@@ -344,8 +347,18 @@ fn submit(
     }
     // Blocking delivery: wait for the (possibly shared) job to finish.
     let mut inner = gw.inner.lock().expect("gateway lock poisoned");
+    let job_key = inner.jobs.get(&id).map(|j| j.key);
     loop {
-        let job = inner.jobs.get(&id).expect("admitted job exists");
+        let Some(job) = inner.jobs.get(&id) else {
+            // The job finished and was retired from the bounded table
+            // before this handler woke; its body is still in the cache.
+            if let Some(body) = job_key.and_then(|k| inner.cache.get(&k).map(Arc::clone)) {
+                drop(inner);
+                return respond(stream, 200, JSON, &[], &body);
+            }
+            drop(inner);
+            return respond(stream, 500, JSON, &[], &err_body("job was retired before delivery"));
+        };
         match &job.status {
             JobStatus::Done => {
                 let body = Arc::clone(job.body.as_ref().expect("done job has a body"));
@@ -447,7 +460,13 @@ fn stream_progress(gw: &Gateway, stream: &mut TcpStream, id: u64) -> std::io::Re
     loop {
         let (line, terminal) = {
             let inner = gw.inner.lock().expect("gateway lock poisoned");
-            let job = inner.jobs.get(&id).expect("jobs are never removed");
+            let Some(job) = inner.jobs.get(&id) else {
+                // Finished and retired from the bounded table between
+                // polls; close the stream with a terminal line.
+                drop(inner);
+                w.chunk(format!("{{\"job\":{id},\"state\":\"retired\"}}\n").as_bytes())?;
+                return w.finish();
+            };
             let done = job.progress.load(Ordering::Relaxed);
             let line = format!(
                 "{{\"job\":{id},\"state\":\"{}\",\"done\":{done},\"total\":{}}}\n",

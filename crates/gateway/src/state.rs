@@ -51,7 +51,10 @@ impl JobStatus {
 }
 
 /// One admitted unit of work. Stays in the table after completion so
-/// `GET /v1/jobs/{id}` and `/result`/`/trace` keep answering.
+/// `GET /v1/jobs/{id}` and `/result`/`/trace` keep answering — but only
+/// the [`RETAINED_JOBS`] most recent terminal jobs are kept
+/// ([`Inner::retire_job`]); older ids answer 404 while their response
+/// bodies remain reachable through the result cache.
 pub struct Job {
     pub id: u64,
     pub key: u128,
@@ -90,7 +93,9 @@ impl TokenBucket {
         let dt = now.duration_since(self.last).as_secs_f64();
         self.last = now;
         let rate: f64 = small_f64(rate_per_sec);
-        self.tokens = (self.tokens + dt * rate).min(small_f64(burst));
+        // A burst of 0 would cap the bucket at 0 tokens and lock the
+        // client out permanently; admission needs ≥1 token of headroom.
+        self.tokens = (self.tokens + dt * rate).min(small_f64(burst.max(1)));
         if self.tokens >= 1.0 {
             self.tokens -= 1.0;
             true
@@ -99,6 +104,16 @@ impl TokenBucket {
         }
     }
 }
+
+/// Terminal jobs kept in the table for late `GET`s. Beyond this the
+/// oldest one is dropped, so a long-lived gateway's job table stays
+/// bounded no matter how many runs it has served.
+pub const RETAINED_JOBS: usize = 64;
+
+/// Idle per-client limiter buckets tolerated before a sweep; small enough
+/// that the sweep (an O(clients) scan under the lock) stays rare on quiet
+/// gateways and cheap on busy ones.
+const LIMITER_SWEEP_MIN: usize = 8;
 
 /// Mutex-guarded portion of the gateway.
 pub struct Inner {
@@ -115,6 +130,24 @@ pub struct Inner {
     /// Jobs currently executing on workers (not in `queue`).
     pub running: usize,
     limiters: BTreeMap<String, TokenBucket>,
+    /// Terminal job ids, oldest first — the eviction order behind
+    /// [`RETAINED_JOBS`].
+    finished: VecDeque<u64>,
+}
+
+impl Inner {
+    /// Record a job as terminal and enforce [`RETAINED_JOBS`]: the oldest
+    /// retained terminal job is dropped from the table once the bound is
+    /// exceeded. Completed bodies stay reachable through the result cache
+    /// even after the job row is gone.
+    pub fn retire_job(&mut self, id: u64) {
+        self.finished.push_back(id);
+        while self.finished.len() > RETAINED_JOBS {
+            if let Some(old) = self.finished.pop_front() {
+                self.jobs.remove(&old);
+            }
+        }
+    }
 }
 
 /// Admission verdict for a new run/sweep request.
@@ -150,6 +183,8 @@ pub struct Gateway {
     pub dedup_joins: AtomicU64,
     pub jobs_completed: AtomicU64,
     pub jobs_failed: AtomicU64,
+    /// Idle per-client limiter buckets dropped by the admission sweep.
+    pub limiters_evicted: AtomicU64,
     /// End-to-end request latency in microseconds (admission to response
     /// head), across all endpoints.
     pub latency_us: SharedHistogram,
@@ -169,6 +204,7 @@ impl Gateway {
                 next_id: 1,
                 running: 0,
                 limiters: BTreeMap::new(),
+                finished: VecDeque::new(),
             }),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
@@ -180,6 +216,7 @@ impl Gateway {
             dedup_joins: AtomicU64::new(0),
             jobs_completed: AtomicU64::new(0),
             jobs_failed: AtomicU64::new(0),
+            limiters_evicted: AtomicU64::new(0),
             latency_us: SharedHistogram::new(),
         }
     }
@@ -192,12 +229,29 @@ impl Gateway {
         }
         let mut inner = self.inner.lock().expect("gateway lock poisoned");
         let bucket = inner.limiters.entry(client.to_string()).or_insert_with(|| TokenBucket {
-            tokens: small_f64(self.cfg.burst),
+            // Same ≥1 clamp as `TokenBucket::admit`: a fresh client must
+            // hold at least one admittable token even at burst 0.
+            tokens: small_f64(self.cfg.burst.max(1)),
             last: Instant::now(),
         });
         let ok = bucket.admit(self.cfg.rate_per_sec, self.cfg.burst);
         if !ok {
             self.rate_limited.fetch_add(1, Ordering::Relaxed);
+        }
+        if inner.limiters.len() > LIMITER_SWEEP_MIN {
+            // Evict buckets idle past the full-refill horizon: such a
+            // bucket is back at capacity, and a re-inserted bucket starts
+            // full, so dropping it cannot change any admission decision.
+            // One distinct client per request would otherwise grow the
+            // map without bound.
+            let now = Instant::now();
+            let horizon = small_f64(self.cfg.burst.max(1)) / small_f64(self.cfg.rate_per_sec);
+            let before = inner.limiters.len();
+            inner.limiters.retain(|_, b| now.duration_since(b.last).as_secs_f64() < horizon);
+            let evicted = (before - inner.limiters.len()) as u64;
+            if evicted > 0 {
+                self.limiters_evicted.fetch_add(evicted, Ordering::Relaxed);
+            }
         }
         ok
     }
@@ -265,7 +319,10 @@ impl Gateway {
             reg.set_counter("gateway.cache.evictions", inner.cache.evictions());
             reg.set_counter("gateway.cache.entries", inner.cache.len() as u64);
             reg.set_counter("gateway.cache.bytes", inner.cache.bytes());
+            reg.set_counter("gateway.jobs.entries", inner.jobs.len() as u64);
+            reg.set_counter("gateway.limiters.entries", inner.limiters.len() as u64);
         }
+        reg.set_counter("gateway.limiters.evicted", self.limiters_evicted.load(Ordering::Relaxed));
         reg.set_counter("gateway.queue.rejected", self.queue_rejected.load(Ordering::Relaxed));
         reg.set_counter("gateway.requests.total", self.requests_total.load(Ordering::Relaxed));
         reg.set_counter("gateway.requests.rate_limited", self.rate_limited.load(Ordering::Relaxed));
@@ -360,6 +417,62 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(10));
         assert!(gw.admit_client("a"));
         assert!(gw.rate_limited.load(Ordering::Relaxed) >= 1);
+    }
+
+    #[test]
+    fn zero_burst_still_admits() {
+        // Regression: burst 0 capped the bucket at 0 tokens, so every
+        // request from every client was rejected forever. The effective
+        // burst is clamped to ≥1.
+        let mut c = cfg(4);
+        c.rate_per_sec = 1000;
+        c.burst = 0;
+        let gw = Gateway::new(c);
+        assert!(gw.admit_client("a"), "first request must pass at burst 0");
+        // And the bucket keeps refilling afterwards.
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        assert!(gw.admit_client("a"), "refill must still admit at burst 0");
+    }
+
+    #[test]
+    fn idle_limiters_are_evicted_past_the_refill_horizon() {
+        let mut c = cfg(4);
+        c.rate_per_sec = 1000; // full-refill horizon = 2/1000 s
+        c.burst = 2;
+        let gw = Gateway::new(c);
+        for i in 0..12 {
+            assert!(gw.admit_client(&format!("client-{i}")));
+        }
+        // All 12 buckets go idle well past the horizon, then one new
+        // client's admission triggers the sweep.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(gw.admit_client("fresh"));
+        let reg = gw.metrics_registry();
+        assert_eq!(reg.counter("gateway.limiters.entries"), Some(1), "only `fresh` survives");
+        assert_eq!(reg.counter("gateway.limiters.evicted"), Some(12));
+    }
+
+    #[test]
+    fn job_table_retention_is_bounded() {
+        let gw = Gateway::new(cfg(RETAINED_JOBS + 16));
+        let extra = 10u64;
+        for i in 0..(RETAINED_JOBS as u64 + extra) {
+            let key = u128::from(i) + 100;
+            let Admission::Enqueued(id) = gw.admit(key, run_kind(), false, 1) else {
+                panic!("expected enqueue")
+            };
+            // Drive the job to terminal the way worker_loop does.
+            let mut inner = gw.inner.lock().unwrap();
+            inner.queue.pop_front();
+            inner.jobs.get_mut(&id).unwrap().status = JobStatus::Done;
+            inner.inflight.remove(&key);
+            inner.retire_job(id);
+        }
+        let inner = gw.inner.lock().unwrap();
+        assert_eq!(inner.jobs.len(), RETAINED_JOBS, "table must stay at the retention bound");
+        // Oldest ids were dropped, newest retained.
+        assert!(!inner.jobs.contains_key(&1));
+        assert!(inner.jobs.contains_key(&(RETAINED_JOBS as u64 + extra)));
     }
 
     #[test]

@@ -266,6 +266,41 @@ fn error_paths_and_cache_hits() {
     assert_eq!(stats.jobs_completed, 1);
 }
 
+/// Parse one counter's value out of the rendered `/metrics` body.
+fn metric_value(metrics: &str, name: &str) -> u64 {
+    metrics
+        .lines()
+        .find_map(|l| {
+            let mut it = l.split_whitespace();
+            (it.next() == Some(name)).then(|| it.next().unwrap_or("0").parse().unwrap_or(0))
+        })
+        .unwrap_or_else(|| panic!("metric {name} missing:\n{metrics}"))
+}
+
+#[test]
+fn job_table_stays_bounded_under_distinct_request_hammer() {
+    // Every request is unique (distinct instruction budget), so each one
+    // is a fresh job: without bounded retention the table would grow to
+    // N entries and a long-lived gateway would leak.
+    let (base, handle) = start(2, 128);
+    const N: u64 = 80; // > RETAINED_JOBS (64)
+    for i in 0..N {
+        let body = format!(
+            "{{\"workload\":\"mcf\",\"config\":\"4x\",\"instructions\":{},\"warmup\":100}}",
+            500 + i
+        );
+        let resp = post(&base, "/v1/run", &body);
+        assert_eq!(resp.status, 200, "{}", resp.body_str());
+    }
+    let metrics = get(&base, "/metrics").body_str().into_owned();
+    let entries = metric_value(&metrics, "gateway.jobs.entries");
+    assert!(entries <= 64, "job table must stay bounded, got {entries}");
+    assert_eq!(metric_value(&metrics, "gateway.jobs.admitted"), N);
+    let stats = shutdown(&base, handle);
+    assert_eq!(stats.jobs_completed, N);
+    assert_eq!(stats.jobs_failed, 0);
+}
+
 #[test]
 fn trace_jobs_expose_perfetto_export() {
     let (base, handle) = start(1, 8);

@@ -17,6 +17,11 @@
 //! | `COAXIAL_F2A_CYCLES` | fig2a bench: simulated cycles per load-latency point |
 //! | `COAXIAL_F6_WEIGHTED` | fig6 bench: also emit the weighted-speedup column |
 //! | `COAXIAL_F7_ALL` | fig7 bench: average over all workloads, not the subset |
+//! | `COAXIAL_SAMPLING` | enable SMARTS-style interval sampling for `coaxial run` |
+//! | `COAXIAL_SAMPLING_INTERVALS` | measurement intervals per sampled run (default 10) |
+//! | `COAXIAL_SAMPLING_MEASURE` | measured instructions per core per interval (default 2000) |
+//! | `COAXIAL_SAMPLING_WARM` | detailed warm-up instructions per core per interval (default 2000) |
+//! | `COAXIAL_SAMPLING_CI` | relative CI half-width target for early stopping (0 = off) |
 //!
 //! The gateway's `COAXIAL_GATEWAY_*` family is documented in
 //! `crates/gateway/src/lib.rs` next to the code that parses it.
@@ -35,6 +40,56 @@ pub fn env_flag(name: &str, default: bool) -> bool {
         Ok(v) => !matches!(v.to_ascii_lowercase().as_str(), "0" | "off" | "false" | "no"),
         Err(_) => default,
     }
+}
+
+/// Read an `f64` from the environment, falling back to `default` when the
+/// variable is unset or unparsable. Non-finite values are rejected so a
+/// stray `inf`/`nan` cannot poison deterministic arithmetic downstream.
+pub fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .filter(|v| v.is_finite())
+        .unwrap_or(default)
+}
+
+/// Whether `coaxial run` executes in SMARTS-style interval-sampling mode
+/// (`COAXIAL_SAMPLING`, off by default). Sampling is an explicit opt-in —
+/// never inferred — because sampled and full-detail reports are different
+/// estimators of the same workload and must not be served interchangeably
+/// from result caches.
+pub fn sampling() -> bool {
+    env_flag("COAXIAL_SAMPLING", false)
+}
+
+/// Number of measurement intervals a sampled run is planned to take
+/// (`COAXIAL_SAMPLING_INTERVALS`, default 10, clamped to ≥1). CI-based
+/// early stopping may run fewer; see [`sampling_ci_target`].
+pub fn sampling_intervals(default: u64) -> u64 {
+    env_u64("COAXIAL_SAMPLING_INTERVALS", default).max(1)
+}
+
+/// Measured instructions per core inside each detailed interval
+/// (`COAXIAL_SAMPLING_MEASURE`, default 2000, clamped to ≥1).
+pub fn sampling_measure(default: u64) -> u64 {
+    env_u64("COAXIAL_SAMPLING_MEASURE", default).max(1)
+}
+
+/// Detailed warm-up instructions per core run before each measurement
+/// interval to re-warm timing state (MSHRs, queues, DRAM row state) after a
+/// functional fast-forward (`COAXIAL_SAMPLING_WARM`, default 2000; 0 is
+/// legal and measures cold).
+pub fn sampling_warm(default: u64) -> u64 {
+    env_u64("COAXIAL_SAMPLING_WARM", default)
+}
+
+/// Relative CI half-width target for early stopping
+/// (`COAXIAL_SAMPLING_CI`, default 0.0 = disabled). When positive, a
+/// sampled run stops after any interval ≥ 3 whose aggregate IPC
+/// half-width / mean falls at or below this value. Negative values are
+/// clamped to 0 (disabled).
+pub fn sampling_ci_target() -> f64 {
+    env_f64("COAXIAL_SAMPLING_CI", 0.0).max(0.0)
 }
 
 /// Instructions per core in the measured region (`COAXIAL_INSTR`).
@@ -139,6 +194,18 @@ mod tests {
         }
         std::env::set_var("COAXIAL_TEST_ENV_FLAG", "on");
         assert!(env_flag("COAXIAL_TEST_ENV_FLAG", false));
+    }
+
+    #[test]
+    fn env_f64_rejects_garbage_and_non_finite() {
+        assert_eq!(env_f64("COAXIAL_TEST_UNSET_VAR", 0.25), 0.25);
+        std::env::set_var("COAXIAL_TEST_ENV_F64", "0.05");
+        assert_eq!(env_f64("COAXIAL_TEST_ENV_F64", 1.0), 0.05);
+        std::env::set_var("COAXIAL_TEST_ENV_F64", "inf");
+        assert_eq!(env_f64("COAXIAL_TEST_ENV_F64", 1.0), 1.0, "non-finite falls back");
+        std::env::set_var("COAXIAL_TEST_ENV_F64", "not-a-number");
+        assert_eq!(env_f64("COAXIAL_TEST_ENV_F64", 1.0), 1.0);
+        std::env::remove_var("COAXIAL_TEST_ENV_F64");
     }
 
     #[test]

@@ -17,6 +17,8 @@
 //!   optional disk tier) behind post-prefill state restore,
 //! * [`queue`] — bounded FIFO queues that record occupancy statistics, and
 //!   the deterministic event min-queue behind the event-driven run loop,
+//! * [`sample`] — interval-sample aggregation (mean ± Student-t confidence
+//!   interval) behind the SMARTS-style sampled execution mode, and
 //! * [`env`] — the shared `COAXIAL_*` environment knobs (budgets, job count,
 //!   cycle-skip toggle).
 
@@ -29,6 +31,7 @@ pub mod lru;
 pub mod narrow;
 pub mod queue;
 pub mod rng;
+pub mod sample;
 pub mod stats;
 pub mod time;
 
@@ -37,5 +40,6 @@ pub use lru::ByteBoundedLru;
 pub use narrow::{idx, small_u32, small_u32_u64, trunc_u32, trunc_u64, trunc_usize};
 pub use queue::{BoundedQueue, EventQueue};
 pub use rng::SplitMix64;
+pub use sample::SampleSeries;
 pub use stats::{Histogram, MeanTracker};
 pub use time::{cycles_to_ns, ns_to_cycles, Cycle, CPU_FREQ_GHZ, NS_PER_CYCLE};

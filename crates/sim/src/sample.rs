@@ -1,0 +1,170 @@
+//! Interval-sample aggregation for SMARTS-style sampled runs.
+//!
+//! The sampling driver (`crates/system/src/sampling.rs`) runs a short
+//! detailed measurement interval every N instructions and records one IPC
+//! (or latency) observation per interval. This module turns those
+//! observations into a mean ± confidence interval: the systematic-sampling
+//! estimator of SMARTS (Wunderlich et al., ISCA '03) treats the per-interval
+//! samples as approximately independent draws and reports a Student-t
+//! confidence interval on their mean.
+//!
+//! Everything here is deterministic arithmetic over the pushed samples — no
+//! RNG, no wall clock — so sampled reports stay byte-identical for a given
+//! config seed.
+
+/// Two-sided 95 % Student-t critical values for 1..=30 degrees of freedom.
+/// Beyond 30 the normal approximation (1.96) is within ~2 % and we use it
+/// directly. Constant table keeps the estimator dependency-free and exactly
+/// reproducible.
+const T95: [f64; 30] = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+    2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+    2.052, 2.048, 2.045, 2.042,
+];
+
+/// 95 % two-sided Student-t critical value for `df` degrees of freedom.
+#[must_use]
+pub fn t_critical_95(df: usize) -> f64 {
+    if df == 0 {
+        f64::INFINITY
+    } else if df <= T95.len() {
+        T95[df - 1]
+    } else {
+        1.96
+    }
+}
+
+/// A series of per-interval observations with mean / spread / confidence-
+/// interval queries. Samples are kept in push order so the series itself can
+/// be serialized into reports for inspection.
+#[derive(Debug, Clone, Default)]
+pub struct SampleSeries {
+    samples: Vec<f64>,
+}
+
+impl SampleSeries {
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn push(&mut self, sample: f64) {
+        self.samples.push(sample);
+    }
+
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    #[must_use]
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Arithmetic mean of the samples; 0.0 when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        let nf = self.samples.len() as f64;
+        self.samples.iter().sum::<f64>() / nf
+    }
+
+    /// Sample standard deviation (Bessel-corrected, n−1 denominator);
+    /// 0.0 with fewer than two samples.
+    #[must_use]
+    pub fn sample_stddev(&self) -> f64 {
+        if self.samples.len() < 2 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        let ss: f64 = self.samples.iter().map(|s| (s - mean) * (s - mean)).sum();
+        #[allow(clippy::cast_precision_loss)]
+        let df = (self.samples.len() - 1) as f64;
+        (ss / df).sqrt()
+    }
+
+    /// Half-width of the 95 % confidence interval on the mean
+    /// (`t · s / √n`); 0.0 with fewer than two samples.
+    #[must_use]
+    pub fn ci_half_width(&self) -> f64 {
+        let n = self.samples.len();
+        if n < 2 {
+            return 0.0;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        let nf = n as f64;
+        t_critical_95(n - 1) * self.sample_stddev() / nf.sqrt()
+    }
+
+    /// CI half-width divided by the mean — the early-stopping criterion.
+    /// Returns `f64::INFINITY` when the mean is zero or there are fewer than
+    /// two samples, so a caller comparing against a target never stops early
+    /// on degenerate data.
+    #[must_use]
+    pub fn relative_half_width(&self) -> f64 {
+        let mean = self.mean();
+        if self.samples.len() < 2 || mean == 0.0 {
+            return f64::INFINITY;
+        }
+        self.ci_half_width() / mean.abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_singleton_are_degenerate() {
+        let mut s = SampleSeries::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.ci_half_width(), 0.0);
+        assert_eq!(s.relative_half_width(), f64::INFINITY);
+        s.push(2.0);
+        assert_eq!(s.mean(), 2.0);
+        assert_eq!(s.sample_stddev(), 0.0);
+        assert_eq!(s.relative_half_width(), f64::INFINITY, "one sample can never stop early");
+    }
+
+    #[test]
+    fn mean_and_stddev_match_hand_calculation() {
+        let mut s = SampleSeries::new();
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            s.push(v);
+        }
+        assert!((s.mean() - 2.5).abs() < 1e-12);
+        // variance = ((1.5)^2 + (0.5)^2 + (0.5)^2 + (1.5)^2) / 3 = 5/3
+        assert!((s.sample_stddev() - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        // df = 3 -> t = 3.182
+        let expect = 3.182 * (5.0f64 / 3.0).sqrt() / 2.0;
+        assert!((s.ci_half_width() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_samples_have_zero_width() {
+        let mut s = SampleSeries::new();
+        for _ in 0..8 {
+            s.push(1.25);
+        }
+        assert_eq!(s.ci_half_width(), 0.0);
+        assert_eq!(s.relative_half_width(), 0.0);
+    }
+
+    #[test]
+    fn t_table_edges() {
+        assert_eq!(t_critical_95(0), f64::INFINITY);
+        assert!((t_critical_95(1) - 12.706).abs() < 1e-9);
+        assert!((t_critical_95(30) - 2.042).abs() < 1e-9);
+        assert!((t_critical_95(31) - 1.96).abs() < 1e-9);
+    }
+}

@@ -753,6 +753,67 @@ pub fn seed_stability(
         .collect()
 }
 
+// ───────────────────────── Interval sampling ─────────────────
+
+/// One workload's full-detail vs interval-sampled comparison.
+#[derive(Debug, Clone, Serialize)]
+pub struct SamplingRow {
+    pub workload: &'static str,
+    /// IPC of the conventional full-detail run at the same budget.
+    pub full_ipc: f64,
+    /// Interval-sampled IPC estimate (mean of per-interval means).
+    pub sampled_ipc: f64,
+    /// 95 % confidence-interval half-width on `sampled_ipc`.
+    pub ci_half: f64,
+    pub intervals_run: u64,
+    /// Share of the covered horizon executed on the timing model.
+    pub detail_fraction: f64,
+    /// Whether the full-detail IPC falls inside the sampled estimate's CI.
+    pub within_ci: bool,
+}
+
+/// Run each workload twice over the same per-core horizon — once in full
+/// detail, once interval-sampled (§DESIGN 5i) — and report how close the
+/// sampled estimate lands. The differential test suite asserts on this;
+/// the experiment exists so the comparison is reproducible from the CLI.
+pub fn sampling_accuracy(
+    workload_names: &[&str],
+    budget: Budget,
+    scfg: &crate::sampling::SamplingConfig,
+) -> Vec<SamplingRow> {
+    let ws = named_workloads(workload_names);
+    let full = runner::run_all(
+        &ws.iter().copied().map(|w| budget.spec(SystemConfig::coaxial_4x(), w)).collect::<Vec<_>>(),
+    );
+    ws.iter()
+        .zip(full)
+        .map(|(w, f)| {
+            let sr = Simulation::new(SystemConfig::coaxial_4x(), w)
+                .instructions_per_core(budget.instructions)
+                .warmup(budget.warmup)
+                .run_sampled(scfg);
+            let s = sr.sampling;
+            let covered = s.detail_instructions + s.fast_forward_instructions;
+            SamplingRow {
+                workload: w.name,
+                full_ipc: f.ipc,
+                sampled_ipc: s.ipc_mean,
+                ci_half: s.ipc_ci_half,
+                intervals_run: s.intervals_run,
+                detail_fraction: if covered == 0 {
+                    1.0
+                } else {
+                    #[allow(clippy::cast_precision_loss)]
+                    {
+                        s.detail_instructions as f64 / covered as f64
+                    }
+                },
+                within_ci: (f.ipc - s.ipc_mean).abs() <= s.ipc_ci_half,
+            }
+        })
+        .collect()
+}
+
 // ───────────────────────── Named dispatch ────────────────────
 
 /// Experiment names accepted by [`run_named`], in `coaxial exp` help order.
@@ -770,6 +831,7 @@ pub const EXPERIMENT_NAMES: &[&str] = &[
     "core-scaling",
     "prefetch",
     "seeds",
+    "sampling",
 ];
 
 fn debug_rows<T: std::fmt::Debug>(rows: &[T]) -> String {
@@ -828,6 +890,17 @@ pub fn run_named(name: &str, budget: Budget) -> Option<String> {
             budget,
         )),
         "seeds" => debug_rows(&seed_stability(&[1, 2, 3], &["mcf"], budget)),
+        "sampling" => {
+            // Laptop-scale interval shape; warm == measure per the bias
+            // calibration in the sampling module docs.
+            let scfg = crate::sampling::SamplingConfig {
+                intervals: 5,
+                measure: 2_000,
+                warm: 2_000,
+                ci_target: 0.0,
+            };
+            debug_rows(&sampling_accuracy(&["mcf", "stream-add"], budget, &scfg))
+        }
         _ => return None,
     })
 }

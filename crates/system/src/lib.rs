@@ -34,9 +34,11 @@ pub mod experiments;
 pub mod pinout;
 pub mod power;
 pub mod runner;
+pub mod sampling;
 pub mod server;
 
 pub use config::{ConfigError, MemorySystemKind, SystemConfig};
 pub use engine::EngineKind;
 pub use runner::{parallel_map, run_all, RunSpec};
+pub use sampling::{SampledReport, SamplingConfig, SamplingSummary};
 pub use server::{RunReport, Simulation};

@@ -301,21 +301,23 @@ pub fn checkpoint_metrics(reg: &mut MetricsRegistry) {
     reg.set_gauge("server.checkpoint.budget_over_cliff", f64::from(u8::from(over)));
 }
 
-/// Builder for one simulation run.
+/// Builder for one simulation run. Fields are `pub(crate)` so the sampling
+/// driver (`crate::sampling`) can reuse the builder, the prefill path, and
+/// the trace plumbing without widening the public API.
 pub struct Simulation {
-    config: SystemConfig,
+    pub(crate) config: SystemConfig,
     /// One workload per core (replicated for homogeneous runs).
-    workloads: Vec<&'static Workload>,
+    pub(crate) workloads: Vec<&'static Workload>,
     /// Replay a captured `.cxtr` trace on every core instead of a
     /// registry workload (see `coaxial_cpu::tracefile`).
-    trace_file: Option<PathBuf>,
-    instructions: u64,
-    warmup: u64,
-    max_cycles: Cycle,
+    pub(crate) trace_file: Option<PathBuf>,
+    pub(crate) instructions: u64,
+    pub(crate) warmup: u64,
+    pub(crate) max_cycles: Cycle,
     /// Hot-loop cycle skipping; `None` follows `COAXIAL_SKIP` (default on).
-    cycle_skip: Option<bool>,
+    pub(crate) cycle_skip: Option<bool>,
     /// Run-loop engine; `None` follows `COAXIAL_ENGINE` (default: event).
-    engine: Option<EngineKind>,
+    pub(crate) engine: Option<EngineKind>,
 }
 
 impl Simulation {
@@ -372,7 +374,7 @@ impl Simulation {
     }
 
     /// Build the trace stream for core `i` (registry workload or file).
-    fn trace_for(&self, i: usize, seed: u64) -> Box<dyn TraceSource + Send> {
+    pub(crate) fn trace_for(&self, i: usize, seed: u64) -> Box<dyn TraceSource + Send> {
         match &self.trace_file {
             Some(path) => Box::new(
                 FileTrace::open(path).unwrap_or_else(|e| panic!("cannot open trace {path:?}: {e}")),
@@ -381,7 +383,7 @@ impl Simulation {
         }
     }
 
-    fn workload_names(&self) -> Vec<String> {
+    pub(crate) fn workload_names(&self) -> Vec<String> {
         match &self.trace_file {
             Some(path) => vec![path.display().to_string()],
             None => self.workloads.iter().map(|w| w.name.to_string()).collect(),
@@ -469,7 +471,7 @@ impl Simulation {
     /// Entry point of lint E03's call graph: nothing reachable from here may
     /// read a `TimingConfig` field, because the warmed state is keyed by the
     /// functional slice alone and shared across all timing siblings.
-    fn prefill_hierarchy<B: MemoryBackend, T: TelemetrySink>(
+    pub(crate) fn prefill_hierarchy<B: MemoryBackend, T: TelemetrySink>(
         &self,
         hierarchy: &mut Hierarchy<B, T>,
     ) -> bool {

@@ -58,6 +58,27 @@ echo "gateway report is byte-identical to the CLI"
 wait "$GWPID"
 cat "$GWDIR/serve.log"
 
+echo "== sampling smoke =="
+# SMARTS-style interval sampling (DESIGN.md §5i): a sampled run must cover
+# a 100x longer per-core horizon than a full-detail Budget::quick run in
+# no more than 2x its wall, report a 95% confidence interval in the JSON,
+# and stay run-to-run deterministic (byte-identical reports).
+t0=$(date +%s%N)
+"$BIN" run mcf --config 4x --instr 6000 --warmup 1000 --json > /dev/null
+full_ms=$(( ($(date +%s%N) - t0) / 1000000 ))
+t0=$(date +%s%N)
+"$BIN" run mcf --config 4x --instr 600000 --sampled --json > "$GWDIR/sampled.json"
+sampled_ms=$(( ($(date +%s%N) - t0) / 1000000 ))
+grep -q '"sampling":{' "$GWDIR/sampled.json"
+grep -q '"ipc_ci_half":' "$GWDIR/sampled.json"
+"$BIN" run mcf --config 4x --instr 600000 --sampled --json > "$GWDIR/sampled2.json"
+cmp "$GWDIR/sampled.json" "$GWDIR/sampled2.json"
+echo "sampled 100x horizon: ${sampled_ms} ms vs full-detail quick: ${full_ms} ms"
+if [ "$sampled_ms" -gt $((2 * full_ms)) ]; then
+  echo "sampled run exceeded 2x the full-detail quick wall" >&2
+  exit 1
+fi
+
 echo "== coaxial-lint =="
 # Workspace static analysis: determinism (D01/D02), timing arithmetic
 # (T01/T02), zero-cost telemetry (Z01), unsafe hygiene (U01), the

@@ -23,6 +23,8 @@
 //!   --cores <n>       active cores (1..12)              (default: 12)
 //!   --cxl-ns <f>      CXL latency premium override in ns
 //!   --json            run only: emit the report as one JSON line
+//!   --sampled         run only: SMARTS interval sampling; --instr is the
+//!                     total horizon, COAXIAL_SAMPLING* shape the intervals
 //!   --trace-start <c> --trace-end <c>     trace window in cycles
 //!   --trace-cap <n>   trace ring capacity in events     (default: 65536)
 //!
@@ -41,7 +43,7 @@ use std::process::exit;
 use coaxial::cpu::tracefile;
 use coaxial::system::experiments::{latency_breakdown, run_named, Budget, EXPERIMENT_NAMES};
 use coaxial::system::runner::{run_all, RunSpec};
-use coaxial::system::{RunReport, Simulation, SystemConfig};
+use coaxial::system::{RunReport, SamplingConfig, SamplingSummary, Simulation, SystemConfig};
 use coaxial::telemetry::TelemetryRecorder;
 use coaxial::workloads::Workload;
 
@@ -52,6 +54,7 @@ struct Opts {
     cores: usize,
     cxl_ns: Option<f64>,
     json: bool,
+    sampled: bool,
     ops: usize,
     trace_start: u64,
     trace_end: u64,
@@ -67,6 +70,8 @@ impl Default for Opts {
             cores: 12,
             cxl_ns: None,
             json: false,
+            // `--sampled` and COAXIAL_SAMPLING are equivalent opt-ins.
+            sampled: coaxial::sim::env::sampling(),
             ops: 100_000,
             trace_start: 0,
             trace_end: u64::MAX,
@@ -81,7 +86,7 @@ fn usage() -> ! {
         include_str!("coaxial.rs")
             .lines()
             .skip(2)
-            .take(35)
+            .take(37)
             .map(|l| l.trim_start_matches("//! "))
             .collect::<Vec<_>>()
             .join("\n")
@@ -106,6 +111,7 @@ fn parse_opts(args: &[String]) -> Opts {
             "--cores" => o.cores = next().parse().expect("--cores wants a number"),
             "--cxl-ns" => o.cxl_ns = Some(next().parse().expect("--cxl-ns wants a number")),
             "--json" => o.json = true,
+            "--sampled" => o.sampled = true,
             "--ops" => o.ops = next().parse().expect("--ops wants a number"),
             "--trace-start" => o.trace_start = next().parse().expect("--trace-start wants a cycle"),
             "--trace-end" => o.trace_end = next().parse().expect("--trace-end wants a cycle"),
@@ -174,6 +180,26 @@ fn print_report(r: &RunReport) {
     println!("window:      {} cycles ({} instr/core)", r.cycles, r.instructions);
 }
 
+fn print_sampling(s: &SamplingSummary) {
+    println!(
+        "sampling:    IPC {:.3} ± {:.3} (95% CI) over {} of {} intervals{}",
+        s.ipc_mean,
+        s.ipc_ci_half,
+        s.intervals_run,
+        s.intervals_planned,
+        if s.early_stopped { " — early stop" } else { "" }
+    );
+    println!(
+        "             {} warm + {} measured instr per core per interval, {} per-core horizon; \
+         totals: {} detailed vs {} fast-forwarded instr",
+        s.warm_per_interval,
+        s.measure_per_interval,
+        s.horizon_instructions,
+        s.detail_instructions,
+        s.fast_forward_instructions
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else { usage() };
@@ -211,16 +237,23 @@ fn main() {
         "run" => {
             let Some(wl) = args.get(1) else { usage() };
             let o = parse_opts(&args[2..]);
-            let r = Simulation::new(build_config(&o), workload(wl))
+            let sim = Simulation::new(build_config(&o), workload(wl))
                 .instructions_per_core(o.instr)
-                .warmup(o.warmup)
-                .run();
-            if o.json {
+                .warmup(o.warmup);
+            if o.sampled {
+                let r = sim.run_sampled(&SamplingConfig::from_env());
+                if o.json {
+                    println!("{}", coaxial::gateway::sampled_report_to_json(&r));
+                } else {
+                    print_report(&r.report);
+                    print_sampling(&r.sampling);
+                }
+            } else if o.json {
                 // Same serializer as the gateway's /v1/run — the bodies
                 // are byte-identical by construction (check.sh cmp's them).
-                println!("{}", coaxial::gateway::report_to_json(&r));
+                println!("{}", coaxial::gateway::report_to_json(&sim.run()));
             } else {
-                print_report(&r);
+                print_report(&sim.run());
             }
         }
         "compare" => {
