@@ -118,7 +118,7 @@ impl HierarchyConfig {
             l2_mshrs: 16,
             noc_cycles_per_hop: 3,
             mem_channels,
-            peak_mem_bytes_per_cycle: peak_mem_gbs * coaxial_sim::NS_PER_CYCLE,
+            peak_mem_bytes_per_cycle: coaxial_sim::gbs_to_bytes_per_cycle(peak_mem_gbs),
             calm,
             calm_epoch: crate::calm::CALM_EPOCH,
             prefetch: PrefetchPolicy::None,
@@ -206,12 +206,11 @@ impl HierStats {
             return (0.0, 0.0, 0.0, 0.0);
         }
         let n = self.l2_misses as f64;
-        let k = coaxial_sim::NS_PER_CYCLE;
         (
-            self.onchip_cycles as f64 / n * k,
-            self.queue_cycles as f64 / n * k,
-            self.service_cycles as f64 / n * k,
-            self.cxl_cycles as f64 / n * k,
+            coaxial_sim::cycles_f64_to_ns(self.onchip_cycles as f64 / n),
+            coaxial_sim::cycles_f64_to_ns(self.queue_cycles as f64 / n),
+            coaxial_sim::cycles_f64_to_ns(self.service_cycles as f64 / n),
+            coaxial_sim::cycles_f64_to_ns(self.cxl_cycles as f64 / n),
         )
     }
 

@@ -97,6 +97,13 @@ pub struct Core {
     pub stores_issued: u64,
     /// Cycles where retirement was completely blocked by a pending load.
     pub stall_cycles: u64,
+    /// Sum of ROB occupancy (instructions) over every observed cycle;
+    /// divide by `cycles` for mean occupancy. Saturation here is the
+    /// paper's signature of CXL-latency-bound cores (ROB fills, MLP caps).
+    pub rob_occupancy_cum: u64,
+    /// Cycles where the issue stage moved nothing despite having waiting
+    /// memory ops (dependence- or back-pressure-bound).
+    pub issue_stall_cycles: u64,
 }
 
 impl Core {
@@ -118,6 +125,8 @@ impl Core {
             loads_issued: 0,
             stores_issued: 0,
             stall_cycles: 0,
+            rob_occupancy_cum: 0,
+            issue_stall_cycles: 0,
         }
     }
 
@@ -141,6 +150,8 @@ impl Core {
         self.loads_issued = 0;
         self.stores_issued = 0;
         self.stall_cycles = 0;
+        self.rob_occupancy_cum = 0;
+        self.issue_stall_cycles = 0;
     }
 
     /// Consume the core and hand back its trace source so the workload
@@ -317,6 +328,12 @@ impl Core {
                 AccessResult::Retry => break, // back-pressure: stop issuing
             }
         }
+        if issued == 0 && !self.waiting.is_empty() {
+            self.issue_stall_cycles += 1;
+        }
+
+        // 4. Occupancy accounting, sampled at end-of-tick state.
+        self.rob_occupancy_cum += u64::from(self.rob_instrs);
     }
 
     fn note_issue(&mut self, op: WaitingOp) {
@@ -350,10 +367,11 @@ impl Core {
     /// its own bound must change its [`Core::progress_fingerprint`] on the
     /// wake-up tick.
     ///
-    /// While blocked, a tick does exactly `cycles += 1; stall_cycles += 1`
-    /// and nothing else, which is what [`Core::fast_forward`] replays — the
-    /// pair is what lets both run-loop engines skip quiescent cycles with
-    /// bit-identical statistics.
+    /// While blocked, a tick touches only the stall/occupancy counters
+    /// (`cycles`, `stall_cycles`, `rob_occupancy_cum`, and — when ops are
+    /// waiting — `issue_stall_cycles`), which is exactly what
+    /// [`Core::fast_forward`] replays; the pair is what lets both run-loop
+    /// engines skip quiescent cycles with bit-identical statistics.
     pub fn next_event(&self) -> Option<Cycle> {
         match self.rob.front() {
             Some(Entry::Mem { done: false }) => {}
@@ -373,10 +391,15 @@ impl Core {
 
     /// Account `skipped` fully-blocked cycles (see [`Core::next_event`]).
     /// Exact replay of the skipped ticks: a fully-blocked tick touches
-    /// nothing but these two counters.
+    /// nothing but the stall/occupancy counters — the ROB is full and
+    /// constant, nothing issues, and `waiting` cannot change.
     pub fn fast_forward(&mut self, skipped: u64) {
         self.cycles += skipped;
         self.stall_cycles += skipped;
+        self.rob_occupancy_cum += skipped * u64::from(self.rob_instrs);
+        if !self.waiting.is_empty() {
+            self.issue_stall_cycles += skipped;
+        }
     }
 
     /// Cheap state fingerprint for the engines' stale-bound assertion: any

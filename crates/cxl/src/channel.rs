@@ -69,6 +69,14 @@ pub struct CxlChannel {
     /// Cycle at which the current head-of-queue became eligible for the
     /// TX serializer (set on enqueue-to-empty and after each TX start).
     tx_front_since: Cycle,
+    /// Credit-cycles accumulator: Σ (credits outstanding) × (interval
+    /// length), advanced by interval arithmetic at every credit mutation,
+    /// so both run-loop engines account identically regardless of which
+    /// cycles they actually tick. Divide by the window for the mean
+    /// device-buffer occupancy (`cxl.port.credit_occupancy`).
+    credit_occ_cycles: u64,
+    /// Cycle of the last credit count change (interval anchor).
+    last_credit_change: Cycle,
     now: Cycle,
     window_start: Cycle,
     /// Cached no-op horizon for the link stages 2–6: they are provably
@@ -103,6 +111,8 @@ impl CxlChannel {
             rx_busy: 0,
             credit_wait_cycles: 0,
             tx_front_since: 0,
+            credit_occ_cycles: 0,
+            last_credit_change: 0,
             now: 0,
             window_start: 0,
             idle_until: 0,
@@ -131,6 +141,16 @@ impl CxlChannel {
             self.idle_until = self.idle_until.min(self.tx_free_at.max(self.now + 1));
         }
         r
+    }
+
+    /// Close the current credit-occupancy interval at `now` (called just
+    /// before every mutation of `credits`). Outstanding credits equal the
+    /// device-buffer slots currently claimed by in-flight requests.
+    #[inline]
+    fn note_credit_change(&mut self, now: Cycle) {
+        let held = (self.cfg.device_buf_depth - self.credits) as u64;
+        self.credit_occ_cycles += held * now.saturating_sub(self.last_credit_change);
+        self.last_credit_change = now;
     }
 
     /// Route a device-local line address across the device's DDR channels.
@@ -211,6 +231,7 @@ impl CxlChannel {
                 break;
             }
             self.credit_returns.pop_front();
+            self.note_credit_change(now);
             self.credits += 1;
             did = true;
         }
@@ -235,6 +256,7 @@ impl CxlChannel {
                 self.tx_busy += occ;
                 let arrives_at = now + occ + 2 * self.cfg.port_latency;
                 self.req_queue.pop();
+                self.note_credit_change(now);
                 self.credits -= 1;
                 self.tx_front_since = now + 1;
                 self.tx_in_flight.push_back(InFlight { arrives_at, payload: req });
@@ -315,6 +337,8 @@ impl CxlChannel {
         // Don't let pre-window head-of-queue waiting leak into the new
         // measurement window.
         self.tx_front_since = self.tx_front_since.max(now);
+        self.credit_occ_cycles = 0;
+        self.last_credit_change = now;
         self.window_start = now;
         for d in &mut self.ddr {
             d.reset_stats(now);
@@ -329,6 +353,21 @@ impl CxlChannel {
     /// Currently held TX flow-control credits (test/debug aid).
     pub fn credits(&self) -> usize {
         self.credits
+    }
+
+    /// Mean outstanding flow-control credits (≡ device-buffer slots held
+    /// by in-flight requests) over the measurement window, including the
+    /// still-open interval since the last credit change. 0 when unloaded,
+    /// approaching `device_buf_depth` when the link saturates.
+    pub fn credit_occupancy_mean(&self) -> f64 {
+        let window = self.window_cycles();
+        if window == 0 {
+            return 0.0;
+        }
+        let held = (self.cfg.device_buf_depth - self.credits) as u64;
+        let open_tail =
+            held * self.now.saturating_sub(self.last_credit_change.max(self.window_start));
+        (self.credit_occ_cycles + open_tail) as f64 / window as f64
     }
 
     /// Earliest future cycle at which ticking this channel could do

@@ -64,6 +64,7 @@ impl CxlMemory {
     /// (`{prefix}.ch{i}.link.*` and `{prefix}.ch{i}.ddr.*`).
     pub fn export_metrics(&self, reg: &mut coaxial_telemetry::MetricsRegistry, prefix: &str) {
         let mut credit_wait = 0u64;
+        let mut credit_occ = 0.0f64;
         for (i, c) in self.channels.iter().enumerate() {
             let (tx, rx) = c.link_utilization(c.window_cycles());
             reg.set_gauge(&format!("{prefix}.ch{i}.link.tx_utilization"), tx);
@@ -72,7 +73,12 @@ impl CxlMemory {
                 &format!("{prefix}.ch{i}.port.credit_wait_cycles"),
                 c.credit_wait_cycles,
             );
+            reg.set_gauge(
+                &format!("{prefix}.ch{i}.port.credit_occupancy"),
+                c.credit_occupancy_mean(),
+            );
             credit_wait += c.credit_wait_cycles;
+            credit_occ += c.credit_occupancy_mean();
             c.ddr_stats().export_metrics(reg, &format!("{prefix}.ch{i}.ddr"));
         }
         let (tx, rx) = self.link_utilization();
@@ -81,6 +87,10 @@ impl CxlMemory {
         // Aggregate link-pressure signal (ROADMAP telemetry item): cycles
         // TX heads spent blocked on flow-control credits alone.
         reg.set_counter("cxl.port.credit_wait_cycles", credit_wait);
+        // Mean outstanding credits per link: the occupancy companion to the
+        // wait counter — how full the device buffer ran, not just whether
+        // the TX head ever starved.
+        reg.set_gauge("cxl.port.credit_occupancy", credit_occ / self.channels.len() as f64);
         self.stats().export_metrics(reg, &format!("{prefix}.ddr_total"));
     }
 }

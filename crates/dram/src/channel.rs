@@ -42,7 +42,7 @@ impl ChannelStats {
         if self.elapsed_cycles == 0 {
             return 0.0;
         }
-        let ns = self.elapsed_cycles as f64 * coaxial_sim::NS_PER_CYCLE;
+        let ns = coaxial_sim::cycles_to_ns(self.elapsed_cycles);
         (self.read_bytes + self.write_bytes) as f64 / ns
     }
 

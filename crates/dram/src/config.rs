@@ -263,7 +263,7 @@ impl DramConfig {
     /// (both sub-channels; counts read+write combined, as DDR datasheets do).
     pub fn peak_bandwidth_gbs(&self) -> f64 {
         // Each sub-channel moves 64 B per t_burst cycles at 2.4 GHz.
-        let per_sub = LINE_BYTES as f64 / (self.timings.t_burst as f64 * coaxial_sim::NS_PER_CYCLE);
+        let per_sub = LINE_BYTES as f64 / coaxial_sim::cycles_to_ns(self.timings.t_burst);
         per_sub * self.subchannels as f64
     }
 }

@@ -53,7 +53,7 @@ pub struct DramEnergy {
 impl DramEnergy {
     /// Compute energy for a channel's command counts over its window.
     pub fn from_stats(stats: &ChannelStats, p: &DramPowerParams) -> Self {
-        let window_ns = stats.elapsed_cycles as f64 * coaxial_sim::NS_PER_CYCLE;
+        let window_ns = coaxial_sim::cycles_to_ns(stats.elapsed_cycles);
         Self {
             act_pre_nj: stats.act as f64 * p.e_act_pre_nj,
             rd_nj: stats.rd_cas as f64 * p.e_rd_nj,

@@ -121,7 +121,7 @@ pub fn reports_to_json(reports: &[RunReport]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use coaxial_system::{Simulation, SystemConfig};
+    use coaxial_system::{SamplingConfig, Simulation, SystemConfig};
 
     #[test]
     fn report_json_is_valid_and_stable() {
@@ -140,5 +140,21 @@ mod tests {
             .warmup(500)
             .run();
         assert_eq!(a, report_to_json(&again), "same config+budget must serialize identically");
+    }
+
+    #[test]
+    fn single_interval_ci_serializes_as_null_not_zero() {
+        // One measurement interval: the Student-t CI has zero degrees of
+        // freedom, so `ci_half_width()` is infinite and the JSON must carry
+        // `null` — a literal 0 would claim perfect confidence.
+        let w = coaxial_workloads::Workload::by_name("mcf").unwrap();
+        let scfg = SamplingConfig { intervals: 1, measure: 1_000, warm: 500, ci_target: 0.0 };
+        let sim = Simulation::new(SystemConfig::coaxial_4x(), w);
+        let r = sim.run_sampled(&scfg);
+        assert_eq!(r.sampling.intervals_run, 1);
+        assert!(r.sampling.ipc_ci_half.is_infinite());
+        let j = sampled_report_to_json(&r);
+        assert!(j.contains("\"ipc_ci_half\":null"), "degenerate CI must be null: {j}");
+        crate::json::parse(&j).expect("sampled report stays valid JSON");
     }
 }

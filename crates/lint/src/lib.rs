@@ -45,6 +45,7 @@
 //! stale suppression.
 
 pub mod allow;
+pub mod flow;
 pub mod lexer;
 pub mod parser;
 pub mod resolve;
@@ -213,6 +214,34 @@ pub const CATALOG: &[LintInfo] = &[
                     break downstream tooling, and a latency Component variant with no \
                     MissRecord stamp site reports misleading zeros in every breakdown.",
     },
+    LintInfo {
+        id: "Q01",
+        summary: "no mixed-unit arithmetic, assignment, argument, or return",
+        rationale: "the unit dataflow layer propagates a Cycles/Nanos/Bytes/Instructions/\
+                    Ratio lattice through locals, fields, calls, and returns: adding or \
+                    comparing two different known units, or storing one into a slot whose \
+                    type (the Cycle alias) or let-binding claims another, is exactly the \
+                    class of bug that corrupts every latency figure the reproduction \
+                    reports. Unknown only ever hides findings, never invents them.",
+    },
+    LintInfo {
+        id: "Q02",
+        summary: "cycles\u{2194}ns conversion only through the blessed time.rs helpers",
+        rationale: "a bare `* 2.4`, `/ CPU_FREQ_GHZ`, or hand-rolled `* NS_PER_CYCLE` \
+                    outside time.rs re-derives the clock relationship in place; when the \
+                    modeled frequency changes, every such site silently keeps the old \
+                    clock. Route through cycles_to_ns/ns_to_cycles (sim) or the telemetry \
+                    time module, which exist precisely so the factor lives in one file.",
+    },
+    LintInfo {
+        id: "Q03",
+        summary: "pub fields/params with a unit suffix must carry that unit at every write",
+        rationale: "a field named `_ns` holding cycles is worse than an unnamed one: every \
+                    reader trusts the name. The dataflow layer checks each write site \
+                    (field assignment, struct literal, call argument) of every pub \
+                    suffix-claimed slot against the abstract unit actually flowing in; \
+                    renaming the identifier or converting the value are the two fixes.",
+    },
 ];
 
 pub fn catalog_entry(id: &str) -> Option<&'static LintInfo> {
@@ -279,6 +308,49 @@ impl Report {
             out.push('}');
         }
         out.push_str(&format!(",\"clean\":{}}}", self.clean()));
+        out
+    }
+
+    /// SARIF 2.1.0 rendering (hand-rolled like [`Report::to_json`] — no
+    /// serde in the offline container). One run, the full rule catalog as
+    /// the driver's rule table, one `error`-level result per finding.
+    /// `scripts/check.sh` writes this next to the JSON artifact so
+    /// code-scanning UIs can ingest the findings; the shape is pinned by
+    /// `sarif_report_shape_is_stable`.
+    pub fn to_sarif(&self) -> String {
+        let mut out = String::from(concat!(
+            "{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",",
+            "\"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{",
+            "\"name\":\"coaxial-lint\",\"rules\":["
+        ));
+        for (i, l) in CATALOG.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"id\":{},\"shortDescription\":{{\"text\":{}}}}}",
+                json_str(l.id),
+                json_str(l.summary)
+            ));
+        }
+        out.push_str("]}},\"results\":[");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                concat!(
+                    "{{\"ruleId\":{},\"level\":\"error\",\"message\":{{\"text\":{}}},",
+                    "\"locations\":[{{\"physicalLocation\":{{\"artifactLocation\":{{\"uri\":{}}},",
+                    "\"region\":{{\"startLine\":{}}}}}}}]}}"
+                ),
+                json_str(f.id),
+                json_str(&f.message),
+                json_str(&f.path),
+                f.line.max(1)
+            ));
+        }
+        out.push_str("]}]}");
         out
     }
 }

@@ -2,7 +2,7 @@
 //! `coaxial-lint` CLI. Usage:
 //!
 //! ```text
-//! coaxial-lint [--root <dir>] [--format text|json] [--changed-only]
+//! coaxial-lint [--root <dir>] [--format text|json|sarif] [--changed-only]
 //!              [--list] [--explain <ID>]
 //! ```
 //!
@@ -11,7 +11,9 @@
 //! stale suppression (so `scripts/check.sh` and CI can gate on it).
 //!
 //! `--format json` emits one machine-readable report object (consumed by
-//! the GitHub Actions problem matcher pipeline and editor integrations).
+//! the GitHub Actions problem matcher pipeline and editor integrations);
+//! `--format sarif` emits the same findings as a SARIF 2.1.0 log for
+//! code-scanning UIs (uploaded as a CI artifact next to the JSON one).
 //! `--changed-only` restricts *reported* findings to files changed per
 //! git (staged + unstaged + untracked vs. HEAD) for fast local iteration;
 //! the analysis itself still runs over the full tree so cross-file rules
@@ -22,8 +24,13 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
+    enum Format {
+        Text,
+        Json,
+        Sarif,
+    }
     let mut root: Option<PathBuf> = None;
-    let mut json = false;
+    let mut format = Format::Text;
     let mut changed_only = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -33,9 +40,10 @@ fn main() -> ExitCode {
                 None => return usage("--root needs a directory"),
             },
             "--format" => match args.next().as_deref() {
-                Some("json") => json = true,
-                Some("text") => json = false,
-                _ => return usage("--format needs `text` or `json`"),
+                Some("json") => format = Format::Json,
+                Some("sarif") => format = Format::Sarif,
+                Some("text") => format = Format::Text,
+                _ => return usage("--format needs `text`, `json`, or `sarif`"),
             },
             "--changed-only" => changed_only = true,
             "--list" => {
@@ -81,17 +89,19 @@ fn main() -> ExitCode {
         }
     };
 
-    if json {
-        println!("{}", report.to_json());
-    } else {
-        for f in &report.findings {
-            println!("{f}");
-        }
-        for s in &report.stale_suppressions {
-            println!(
-                "lint-allow.toml:{}: stale suppression ({} @ {}) matches no finding — remove it",
-                s.line, s.lint, s.path
-            );
+    match format {
+        Format::Json => println!("{}", report.to_json()),
+        Format::Sarif => println!("{}", report.to_sarif()),
+        Format::Text => {
+            for f in &report.findings {
+                println!("{f}");
+            }
+            for s in &report.stale_suppressions {
+                println!(
+                    "lint-allow.toml:{}: stale suppression ({} @ {}) matches no finding — remove it",
+                    s.line, s.lint, s.path
+                );
+            }
         }
     }
     let status = if report.clean() { "clean" } else { "FAILED" };
@@ -150,7 +160,7 @@ fn changed_files(root: &Path) -> Option<BTreeSet<String>> {
 
 fn usage(err: &str) -> ExitCode {
     eprintln!(
-        "coaxial-lint: {err}\nusage: coaxial-lint [--root <dir>] [--format text|json] \
+        "coaxial-lint: {err}\nusage: coaxial-lint [--root <dir>] [--format text|json|sarif] \
          [--changed-only] [--list] [--explain <ID>]"
     );
     ExitCode::FAILURE

@@ -196,6 +196,18 @@ pub fn lint_cross_file_timed(
     out.extend(timed("M01", &mut || check_m01(ws, &M01_SPEC)));
     out.extend(timed("L01", &mut || check_l01(ws, &L01_SPEC)));
     out.extend(timed("E05", &mut || check_e05(ws, ctxs, &E05_SPEC)));
+    // The unit dataflow (Q01/Q02/Q03) runs once; the shared analysis is
+    // billed to Q01, the split-out findings to their own IDs.
+    let mut units = None;
+    out.extend(timed("Q01", &mut || {
+        let u = crate::flow::check_units(ctxs, ws);
+        let q01 = u.q01.clone();
+        units = Some(u);
+        q01
+    }));
+    let units = units.unwrap_or_default();
+    out.extend(timed("Q02", &mut || units.q02.clone()));
+    out.extend(timed("Q03", &mut || units.q03.clone()));
     out
 }
 

@@ -98,6 +98,44 @@ fn u01_bad_fires_good_is_clean() {
     assert_eq!(run(rules::check_u01, "u01_good.rs"), vec![]);
 }
 
+/// Run the unit dataflow rules on one fixture file as a tiny workspace.
+fn run_units(name: &str) -> coaxial_lint::flow::UnitFindings {
+    let src = fixture(name);
+    let rel = "crates/cache/src/fixture.rs";
+    let ws = Workspace::from_sources(&[(rel, &src)]);
+    let ctxs = vec![FileCtx::new(rel, &src)];
+    coaxial_lint::flow::check_units(&ctxs, &ws)
+}
+
+#[test]
+fn q01_bad_fires_good_is_clean() {
+    let bad = run_units("q01_bad.rs");
+    assert_fires("Q01", &bad.q01, 3);
+    let idents: BTreeSet<&str> = bad.q01.iter().map(|f| f.ident.as_str()).collect();
+    assert!(idents.contains("deadline_ns"), "cross-unit let resolved: {:#?}", bad.q01);
+    let good = run_units("q01_good.rs");
+    assert_eq!(good.q01, vec![], "blessed conversions and ratio scaling are clean");
+}
+
+#[test]
+fn q02_bad_fires_good_is_clean() {
+    let bad = run_units("q02_bad.rs");
+    assert_fires("Q02", &bad.q02, 2);
+    let idents: BTreeSet<&str> = bad.q02.iter().map(|f| f.ident.as_str()).collect();
+    assert!(idents.contains("2.4") && idents.contains("NS_PER_CYCLE"), "{:#?}", bad.q02);
+    let good = run_units("q02_good.rs");
+    assert_eq!(good.q02, vec![], "a non-adjacent 2.4 config value is not a conversion");
+}
+
+#[test]
+fn q03_bad_fires_good_is_clean() {
+    let bad = run_units("q03_bad.rs");
+    assert_fires("Q03", &bad.q03, 1);
+    assert_eq!(bad.q03[0].ident, "window_ns", "{:#?}", bad.q03);
+    let good = run_units("q03_good.rs");
+    assert_eq!(good.q03, vec![], "a converted write satisfies the name's claim");
+}
+
 #[test]
 fn c01_orphaned_timing_parameter_is_caught() {
     let config = fixture("c01/config_bad.rs");
@@ -411,6 +449,73 @@ fn m01_catches_unstamped_component_in_real_tree() {
     assert_eq!(rules::check_m01(&ws, &rules::M01_SPEC), vec![], "real tree M01-clean");
 }
 
+/// Run the unit dataflow battery over the real tree, optionally rewriting
+/// one file, and return just the (id, path, ident) triples of Q findings.
+fn real_tree_units(mutate: Option<Mutation>) -> Vec<(String, String, String)> {
+    let root = repo_root();
+    let mut sources =
+        coaxial_lint::workspace_sources(std::path::Path::new(&root)).expect("readable tree");
+    if let Some((rel, f)) = mutate {
+        let entry = sources.iter_mut().find(|(r, _)| r == rel).expect("rewrite target");
+        entry.1 = f(&entry.1);
+    }
+    let pairs: Vec<(&str, &str)> = sources.iter().map(|(r, s)| (r.as_str(), s.as_str())).collect();
+    let ws = Workspace::from_sources(&pairs);
+    let ctxs: Vec<FileCtx> = sources.iter().map(|(rel, src)| FileCtx::new(rel, src)).collect();
+    let u = coaxial_lint::flow::check_units(&ctxs, &ws);
+    u.q01
+        .into_iter()
+        .chain(u.q02)
+        .chain(u.q03)
+        .map(|f| (f.id.to_string(), f.path, f.ident))
+        .collect()
+}
+
+/// Injecting the canonical mixed-unit statement into a model crate must be
+/// flagged by Q01 at the injected site; the untouched tree is clean.
+#[test]
+fn q01_catches_injected_mixed_addition_in_real_tree() {
+    let inject = |src: &str| {
+        format!(
+            "{src}
+pub fn phantom_mix(y_cycles: u64, z_ns: f64) -> f64 {{
+                 let x_ns = y_cycles as f64 + z_ns;
+    x_ns
+}}
+"
+        )
+    };
+    let findings = real_tree_units(Some(("crates/dram/src/channel.rs", &inject)));
+    assert!(
+        findings.iter().any(|(id, path, _)| id == "Q01" && path == "crates/dram/src/channel.rs"),
+        "Q01 misses the injected `let x_ns = y_cycles + z_ns`: {findings:#?}"
+    );
+
+    assert_eq!(real_tree_units(None), vec![], "real tree must be Q-clean");
+}
+
+/// Injecting a bare `* 2.4` conversion into a model crate must be flagged
+/// by Q02 at the injected site.
+#[test]
+fn q02_catches_injected_bare_factor_in_real_tree() {
+    let inject = |src: &str| {
+        format!(
+            "{src}
+pub fn phantom_convert(total_cycles: u64) -> f64 {{
+                 total_cycles as f64 * 2.4
+}}
+"
+        )
+    };
+    let findings = real_tree_units(Some(("crates/cache/src/hierarchy.rs", &inject)));
+    assert!(
+        findings.iter().any(|(id, path, ident)| id == "Q02"
+            && path == "crates/cache/src/hierarchy.rs"
+            && ident == "2.4"),
+        "Q02 misses the injected bare factor: {findings:#?}"
+    );
+}
+
 /// The full gate on the real tree: no findings, and — mirroring the C01
 /// orphan-suppression contract — zero stale suppressions, so no
 /// lint-allow.toml entry for the new E/M rules can outlive its reason.
@@ -455,6 +560,47 @@ fn json_report_shape_is_stable() {
          \"ident\":\"knob\",\"message\":\"a \\\"quoted\\\" message\"}],\
          \"stale_suppressions\":[],\"suppressed\":2,\"files\":9,\"clean\":false}"
     );
+}
+
+/// The SARIF log must be valid-shaped 2.1.0: pinned byte-exactly for the
+/// results half (the rule table tracks CATALOG, so only its envelope and
+/// one sampled entry are pinned — appending a rule must not break CI).
+#[test]
+fn sarif_report_shape_is_stable() {
+    let report = coaxial_lint::Report {
+        findings: vec![coaxial_lint::Finding {
+            id: "Q01",
+            path: "crates/x/src/lib.rs".to_string(),
+            line: 7,
+            ident: "window_ns".to_string(),
+            message: "a \"quoted\" message".to_string(),
+        }],
+        stale_suppressions: vec![],
+        suppressed: 0,
+        files: 1,
+        timings: vec![],
+    };
+    let sarif = report.to_sarif();
+    assert!(sarif.starts_with(concat!(
+        "{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",",
+        "\"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{",
+        "\"name\":\"coaxial-lint\",\"rules\":["
+    )));
+    assert!(sarif.ends_with(concat!(
+        "\"results\":[{\"ruleId\":\"Q01\",\"level\":\"error\",",
+        "\"message\":{\"text\":\"a \\\"quoted\\\" message\"},",
+        "\"locations\":[{\"physicalLocation\":{\"artifactLocation\":",
+        "{\"uri\":\"crates/x/src/lib.rs\"},\"region\":{\"startLine\":7}}}]}]}]}"
+    )));
+    // Every catalog rule appears exactly once in the driver rule table.
+    for l in coaxial_lint::CATALOG {
+        assert_eq!(
+            sarif.matches(&format!("{{\"id\":\"{}\",", l.id)).count(),
+            1,
+            "rule {} missing or duplicated in the SARIF rule table",
+            l.id
+        );
+    }
 }
 
 #[test]
@@ -919,6 +1065,16 @@ fn precision_differential_old_vs_new_linkage_is_fully_accounted() {
     let expected: BTreeSet<(String, String, String)> =
         [("E05".into(), "src/bin/coaxial.rs".into(), "sweep-latency".into())].into_iter().collect();
     assert_eq!(old_only, expected, "unaccounted linkage delta");
+
+    // The unit dataflow rules (Q01–Q03) honor the precision contract under
+    // both linkages: losing call resolution (ByName) turns summaries into
+    // Unknown, and Unknown only *hides* findings — so on the Q-clean tree
+    // the delta is pinned at exactly zero in both directions.
+    let q = |set: &BTreeSet<(String, String, String)>| -> BTreeSet<_> {
+        set.iter().filter(|(id, _, _)| id.starts_with('Q')).cloned().collect()
+    };
+    assert_eq!(q(&new), BTreeSet::new(), "resolved tree must be Q-clean");
+    assert_eq!(q(&old), BTreeSet::new(), "ByName may only lose Q findings, never invent them");
 
     // C01's ident-credit scan is deliberately name-based (documented
     // imprecision): identical findings under both linkages.

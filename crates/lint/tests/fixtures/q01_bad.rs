@@ -1,0 +1,14 @@
+//! Q01 fixture: mixed-unit arithmetic, cross-unit let, mixed comparison.
+
+pub fn mixes_add(start_cycles: u64, window_ns: f64) -> f64 {
+    start_cycles as f64 + window_ns
+}
+
+pub fn cross_assign(total_cycles: u64) -> u64 {
+    let deadline_ns = total_cycles;
+    deadline_ns
+}
+
+pub fn mixed_compare(a_bytes: u64, b_instr: u64) -> bool {
+    a_bytes > b_instr
+}

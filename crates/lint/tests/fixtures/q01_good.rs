@@ -1,0 +1,18 @@
+//! Q01 good twin: same shapes, units kept straight.
+
+pub fn same_unit_math(start_cycles: u64, end_cycles: u64) -> u64 {
+    end_cycles - start_cycles
+}
+
+pub fn blessed_conversion(total_cycles: u64) -> f64 {
+    let window_ns = coaxial_sim::cycles_to_ns(total_cycles);
+    window_ns
+}
+
+pub fn ratio_scaling(span_ns: f64, load_ratio: f64) -> f64 {
+    span_ns * load_ratio
+}
+
+pub fn same_unit_compare(a_bytes: u64, b_bytes: u64) -> bool {
+    a_bytes > b_bytes
+}

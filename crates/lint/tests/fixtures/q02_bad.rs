@@ -1,0 +1,9 @@
+//! Q02 fixture: hand-rolled cycles↔ns conversions outside time.rs.
+
+pub fn bare_factor(total_cycles: u64) -> f64 {
+    total_cycles as f64 / 2.4
+}
+
+pub fn const_chain(window_cycles: u64) -> f64 {
+    window_cycles as f64 * coaxial_sim::NS_PER_CYCLE
+}

@@ -1,0 +1,8 @@
+//! Q02 good twin: conversions routed through the blessed helpers. A 2.4
+//! that is not adjacent to `*`/`/` (a config value) is not a conversion.
+
+pub const DEFAULT_FREQ: f64 = 2.4;
+
+pub fn routed(total_cycles: u64) -> f64 {
+    coaxial_sim::cycles_to_ns(total_cycles)
+}

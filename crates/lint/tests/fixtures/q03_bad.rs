@@ -1,0 +1,9 @@
+//! Q03 fixture: a pub field whose name claims ns receives raw cycles.
+
+pub struct WindowStats {
+    pub window_ns: f64,
+}
+
+pub fn fill(total_cycles: u64) -> WindowStats {
+    WindowStats { window_ns: total_cycles as f64 }
+}

@@ -1,0 +1,9 @@
+//! Q03 good twin: the claimed field gets a genuinely converted value.
+
+pub struct WindowStats {
+    pub window_ns: f64,
+}
+
+pub fn fill(total_cycles: u64) -> WindowStats {
+    WindowStats { window_ns: coaxial_sim::cycles_to_ns(total_cycles) }
+}

@@ -42,4 +42,7 @@ pub use queue::{BoundedQueue, EventQueue};
 pub use rng::SplitMix64;
 pub use sample::SampleSeries;
 pub use stats::{Histogram, MeanTracker};
-pub use time::{cycles_to_ns, ns_to_cycles, Cycle, CPU_FREQ_GHZ, NS_PER_CYCLE};
+pub use time::{
+    cycles_f64_to_ns, cycles_to_ns, gbs_to_bytes_per_cycle, ns_to_cycles, Cycle, CPU_FREQ_GHZ,
+    NS_PER_CYCLE,
+};

@@ -93,12 +93,16 @@ impl SampleSeries {
     }
 
     /// Half-width of the 95 % confidence interval on the mean
-    /// (`t · s / √n`); 0.0 with fewer than two samples.
+    /// (`t · s / √n`). With fewer than two samples the Student-t interval
+    /// is undefined (df = 0), so this returns `f64::INFINITY` — a
+    /// misleading ±0 would read as *perfect* confidence from a single
+    /// measurement interval. JSON emitters render the infinite width as
+    /// `null` (see `coaxial-gateway`'s `emit_f64`).
     #[must_use]
     pub fn ci_half_width(&self) -> f64 {
         let n = self.samples.len();
         if n < 2 {
-            return 0.0;
+            return f64::INFINITY;
         }
         #[allow(clippy::cast_precision_loss)]
         let nf = n as f64;
@@ -128,11 +132,16 @@ mod tests {
         let mut s = SampleSeries::new();
         assert!(s.is_empty());
         assert_eq!(s.mean(), 0.0);
-        assert_eq!(s.ci_half_width(), 0.0);
+        assert_eq!(s.ci_half_width(), f64::INFINITY, "no samples: CI undefined, never zero");
         assert_eq!(s.relative_half_width(), f64::INFINITY);
         s.push(2.0);
         assert_eq!(s.mean(), 2.0);
         assert_eq!(s.sample_stddev(), 0.0);
+        assert_eq!(
+            s.ci_half_width(),
+            f64::INFINITY,
+            "a single interval must flag its CI as undefined, not report ±0"
+        );
         assert_eq!(s.relative_half_width(), f64::INFINITY, "one sample can never stop early");
     }
 

@@ -27,6 +27,22 @@ pub fn cycles_to_ns(cycles: Cycle) -> f64 {
     cycles as f64 * NS_PER_CYCLE
 }
 
+/// Convert an already-fractional cycle quantity (a histogram mean or
+/// percentile) into nanoseconds. Same arithmetic as [`cycles_to_ns`],
+/// for callers whose cycle value left the integer domain upstream.
+#[inline]
+pub fn cycles_f64_to_ns(frac_cycles: f64) -> f64 {
+    frac_cycles * NS_PER_CYCLE
+}
+
+/// Convert a GB/s bandwidth figure into bytes per cycle. GB/s is
+/// bytes/ns, so this is the same factor as [`cycles_to_ns`] — kept here
+/// so rate math never re-derives the clock in place.
+#[inline]
+pub fn gbs_to_bytes_per_cycle(gbs: f64) -> f64 {
+    gbs * NS_PER_CYCLE
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -97,8 +97,8 @@ pub fn fig2a_load_latency(utilizations: &[f64], horizon_cycles: Cycle) -> Vec<Lo
         LoadLatencyPoint {
             target_utilization: u,
             achieved_utilization: st.bandwidth_gbs() / 38.4,
-            avg_ns: ch.latency_hist.mean() * coaxial_sim::NS_PER_CYCLE,
-            p90_ns: ch.latency_hist.percentile(90.0) as f64 * coaxial_sim::NS_PER_CYCLE,
+            avg_ns: coaxial_sim::cycles_f64_to_ns(ch.latency_hist.mean()),
+            p90_ns: coaxial_sim::cycles_f64_to_ns(ch.latency_hist.percentile(90.0) as f64),
         }
     })
 }
@@ -531,18 +531,17 @@ pub fn latency_breakdown(
             .instructions_per_core(budget.instructions)
             .warmup(budget.warmup)
             .run_with_telemetry(TelemetryRecorder::new());
-        let ns = coaxial_sim::NS_PER_CYCLE;
         let att = &rec.attribution;
         BreakdownRow {
             config_name: cfg.name.clone(),
             workload: w.name.to_string(),
             components_ns: att
-                .mean_ns_rows(ns)
+                .mean_ns_rows()
                 .into_iter()
                 .map(|(c, v)| (c.label().to_string(), v))
                 .collect(),
-            total_ns: att.total.mean() * ns,
-            paper_ns: att.paper_breakdown_ns(ns),
+            total_ns: coaxial_telemetry::time::cycles_f64_to_ns(att.total.mean()),
+            paper_ns: att.paper_breakdown_ns(),
             requests: att.requests(),
             llc_hits: att.llc_hits,
             calm_requests: att.calm_requests,

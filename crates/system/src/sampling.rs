@@ -396,7 +396,7 @@ fn drive<B: MemoryBackend, T: TelemetrySink>(
     } else {
         agg_hier.llc_misses as f64 * 1000.0 / total_instr as f64
     };
-    let window_ns = agg_ddr.elapsed_cycles as f64 * coaxial_sim::NS_PER_CYCLE;
+    let window_ns = coaxial_sim::cycles_to_ns(agg_ddr.elapsed_cycles);
     let (read_gbs, write_gbs) = if window_ns > 0.0 {
         (agg_ddr.read_bytes as f64 / window_ns, agg_ddr.write_bytes as f64 / window_ns)
     } else {
@@ -417,7 +417,7 @@ fn drive<B: MemoryBackend, T: TelemetrySink>(
         per_core_ipc,
         mpki,
         breakdown_ns: agg_hier.breakdown_ns(),
-        l2_miss_latency_ns: agg_hier.mean_l2_miss_latency_cycles() * coaxial_sim::NS_PER_CYCLE,
+        l2_miss_latency_ns: coaxial_sim::cycles_f64_to_ns(agg_hier.mean_l2_miss_latency_cycles()),
         read_gbs,
         write_gbs,
         utilization: (read_gbs + write_gbs) / peak,

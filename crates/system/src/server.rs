@@ -668,7 +668,7 @@ impl Simulation {
             hier.llc_misses as f64 * 1000.0 / total_instr as f64
         };
         let breakdown_ns = hier.breakdown_ns();
-        let window_ns = ddr.elapsed_cycles as f64 * coaxial_sim::NS_PER_CYCLE;
+        let window_ns = coaxial_sim::cycles_to_ns(ddr.elapsed_cycles);
         let (read_gbs, write_gbs) = if window_ns > 0.0 {
             (ddr.read_bytes as f64 / window_ns, ddr.write_bytes as f64 / window_ns)
         } else {
@@ -682,7 +682,7 @@ impl Simulation {
             per_core_ipc,
             mpki,
             breakdown_ns,
-            l2_miss_latency_ns: hier.mean_l2_miss_latency_cycles() * coaxial_sim::NS_PER_CYCLE,
+            l2_miss_latency_ns: coaxial_sim::cycles_f64_to_ns(hier.mean_l2_miss_latency_cycles()),
             read_gbs,
             write_gbs,
             utilization: (read_gbs + write_gbs) / peak,
@@ -705,6 +705,18 @@ impl Simulation {
         // so the differential test may compare them byte-for-byte.
         metrics.set_counter("engine.skipped_cycles", outcome.stats.skipped_cycles);
         metrics.set_counter("engine.blocked_iters", outcome.stats.blocked_iters);
+        // Per-core OoO pressure counters (ROADMAP telemetry item). Both are
+        // exact under fast-forward replay (see `Core::fast_forward`), so the
+        // engine-differential comparison covers them byte-for-byte.
+        for c in &cores {
+            metrics
+                .set_counter(&format!("cpu.core{}.rob_occupancy_cum", c.id()), c.rob_occupancy_cum);
+            metrics.set_counter(
+                &format!("cpu.core{}.issue_stall_cycles", c.id()),
+                c.issue_stall_cycles,
+            );
+            metrics.set_counter(&format!("cpu.core{}.retire_stall_cycles", c.id()), c.stall_cycles);
+        }
         // Prefill/run wall time and checkpoint behaviour. Wall times are
         // host-dependent and the checkpoint counters are process-cumulative;
         // everything under `server.prefill.` / `server.checkpoint.` is
@@ -725,6 +737,7 @@ impl Simulation {
 mod tests {
     use super::*;
     use coaxial_cache::CalmPolicy;
+    use coaxial_telemetry::MetricValue;
 
     fn quick(config: SystemConfig, wl: &str) -> RunReport {
         let w = Workload::by_name(wl).expect("workload exists");
@@ -786,6 +799,31 @@ mod tests {
         let r = Simulation::new(cfg, w).instructions_per_core(3_000).warmup(500).run();
         assert_eq!(r.per_core_ipc.len(), 1);
         assert!(r.ipc > 0.0);
+    }
+
+    #[test]
+    fn pressure_counters_are_live_in_the_metrics_registry() {
+        // The OoO/CXL pressure counters (ROADMAP telemetry item) must
+        // actually accumulate on a memory-bound CXL run, not just exist:
+        // a full ROB drives occupancy, blocked retirement drives issue
+        // stalls, and in-flight CXL requests hold device-buffer credits.
+        let w = Workload::by_name("mcf").expect("workload exists");
+        let (_, _, m) = Simulation::new(SystemConfig::coaxial_4x(), w)
+            .instructions_per_core(4_000)
+            .warmup(1_000)
+            .run_with_telemetry(NullTelemetry);
+        let counter = |path: &str| match m.get(path) {
+            Some(MetricValue::Counter(c)) => *c,
+            other => panic!("{path}: expected a counter, got {other:?}"),
+        };
+        assert!(counter("cpu.core0.rob_occupancy_cum") > 0);
+        assert!(counter("cpu.core0.issue_stall_cycles") > 0);
+        match m.get("cxl.port.credit_occupancy") {
+            Some(MetricValue::Gauge(g)) => {
+                assert!(*g > 0.0, "credit occupancy gauge = {g}");
+            }
+            other => panic!("credit_occupancy: expected a gauge, got {other:?}"),
+        }
     }
 
     #[test]

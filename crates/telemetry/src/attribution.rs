@@ -216,18 +216,38 @@ impl LatencyAttribution {
         }
     }
 
-    /// (component, mean ns) rows in display order, using the given
-    /// ns-per-cycle scale.
-    pub fn mean_ns_rows(&self, ns_per_cycle: f64) -> Vec<(Component, f64)> {
-        COMPONENTS.iter().map(|&c| (c, self.mean_cycles(c) * ns_per_cycle)).collect()
+    /// (component, mean ns) rows in display order, converted at the
+    /// system clock via [`crate::time`].
+    pub fn mean_ns_rows(&self) -> Vec<(Component, f64)> {
+        COMPONENTS
+            .iter()
+            .map(|&c| (c, crate::time::cycles_f64_to_ns(self.mean_cycles(c))))
+            .collect()
+    }
+
+    /// Paper-style coarse means in cycles: (on-chip, queuing, service, cxl).
+    pub fn paper_breakdown_cycles(&self) -> (f64, f64, f64, f64) {
+        let (mut on, mut q, mut s, mut x) = (0.0, 0.0, 0.0, 0.0);
+        for &c in &COMPONENTS {
+            let v = self.mean_cycles(c);
+            match c.paper_category() {
+                "on-chip" => on += v,
+                "queuing" => q += v,
+                "service" => s += v,
+                _ => x += v,
+            }
+        }
+        (on, q, s, x)
     }
 
     /// Paper-style coarse means in ns: (on-chip, queuing, service, cxl).
     /// Comparable with `HierStats::breakdown_ns` in `coaxial-cache`.
-    pub fn paper_breakdown_ns(&self, ns_per_cycle: f64) -> (f64, f64, f64, f64) {
+    /// Each component converts before summing, so the accumulation order
+    /// matches the per-component rows exactly.
+    pub fn paper_breakdown_ns(&self) -> (f64, f64, f64, f64) {
         let (mut on, mut q, mut s, mut x) = (0.0, 0.0, 0.0, 0.0);
         for &c in &COMPONENTS {
-            let v = self.mean_cycles(c) * ns_per_cycle;
+            let v = crate::time::cycles_f64_to_ns(self.mean_cycles(c));
             match c.paper_category() {
                 "on-chip" => on += v,
                 "queuing" => q += v,
@@ -363,7 +383,7 @@ mod tests {
     fn paper_categories_cover_all_components() {
         let mut agg = LatencyAttribution::new();
         agg.record(&record(12, 20, 5, 40, 126, 11));
-        let (on, q, s, x) = agg.paper_breakdown_ns(1.0);
+        let (on, q, s, x) = agg.paper_breakdown_cycles();
         let total = agg.total.mean();
         assert!((on + q + s + x - total).abs() < 1e-9);
     }

@@ -36,6 +36,7 @@ pub mod attribution;
 pub mod registry;
 pub mod sink;
 pub mod stats;
+pub mod time;
 pub mod trace;
 
 /// Simulation timestamp / duration in system clock cycles (2.4 GHz).
@@ -43,9 +44,9 @@ pub mod trace;
 /// sits below `coaxial-sim` in the dependency graph.
 pub type Cycle = u64;
 
-/// Duration of one system clock cycle in nanoseconds (2.4 GHz clock).
-/// Mirrors `coaxial_sim::NS_PER_CYCLE` (same constant, same caveat).
-pub const NS_PER_CYCLE: f64 = 1.0 / 2.4;
+/// Duration of one system clock cycle in nanoseconds (2.4 GHz clock);
+/// lives in [`time`] with the rest of the clock relationship.
+pub use time::NS_PER_CYCLE;
 
 pub use attribution::{Component, LatencyAttribution, MissRecord, COMPONENTS};
 pub use registry::{MetricValue, MetricsRegistry, SharedCounter, SharedHistogram};

@@ -1,0 +1,47 @@
+//! Time unit conversions — the telemetry crate's blessed clock home.
+//!
+//! This crate sits *below* `coaxial-sim` in the dependency graph, so it
+//! cannot use `coaxial_sim::time`; the 2.4 GHz relationship is mirrored
+//! here instead (same constant, same caveat as the `Cycle` alias in
+//! `lib.rs`). Everything in this crate that crosses the cycles→ns
+//! boundary must route through these helpers — `coaxial-lint` rule Q02
+//! flags any hand-rolled conversion outside a `time.rs`.
+
+use crate::Cycle;
+
+/// Duration of one system clock cycle in nanoseconds (2.4 GHz clock).
+/// Mirrors `coaxial_sim::NS_PER_CYCLE`.
+pub const NS_PER_CYCLE: f64 = 1.0 / 2.4;
+
+/// Convert a cycle count into nanoseconds.
+#[inline]
+pub fn cycles_to_ns(cycles: Cycle) -> f64 {
+    cycles as f64 * NS_PER_CYCLE
+}
+
+/// Convert an already-fractional cycle quantity (a histogram mean) into
+/// nanoseconds.
+#[inline]
+pub fn cycles_f64_to_ns(frac_cycles: f64) -> f64 {
+    frac_cycles * NS_PER_CYCLE
+}
+
+/// Convert a cycle timestamp into microseconds (Chrome trace `ts`/`dur`
+/// fields are µs).
+#[inline]
+pub fn cycles_to_us(cycles: Cycle) -> f64 {
+    cycles as f64 * NS_PER_CYCLE / 1000.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mirrors_the_sim_clock() {
+        assert_eq!(cycles_to_ns(1), NS_PER_CYCLE);
+        assert_eq!(cycles_to_ns(2400), 1000.0);
+        assert_eq!(cycles_to_us(2_400_000), 1000.0);
+        assert_eq!(cycles_f64_to_ns(2.4), 1.0);
+    }
+}

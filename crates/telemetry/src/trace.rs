@@ -13,7 +13,6 @@
 //! the documented schema, and validated by a mini JSON parser in the tests.
 
 use crate::Cycle;
-use crate::NS_PER_CYCLE;
 
 /// One complete duration event destined for a Chrome trace.
 ///
@@ -175,8 +174,8 @@ impl EventTracer {
             if i > 0 {
                 out.push(',');
             }
-            let ts_us = ev.start as f64 * NS_PER_CYCLE / 1000.0;
-            let dur_us = (ev.dur.max(1)) as f64 * NS_PER_CYCLE / 1000.0;
+            let ts_us = crate::time::cycles_to_us(ev.start);
+            let dur_us = crate::time::cycles_to_us(ev.dur.max(1));
             out.push_str(&format!(
                 "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{:.4},\"dur\":{:.4},\
                  \"pid\":{},\"tid\":{},\"args\":{{\"line\":{},\"start_cycle\":{},\"dur_cycles\":{}}}}}",
@@ -189,7 +188,7 @@ impl EventTracer {
                 out.push(',');
             }
             first = false;
-            let ts_us = ev.ts as f64 * NS_PER_CYCLE / 1000.0;
+            let ts_us = crate::time::cycles_to_us(ev.ts);
             out.push_str(&format!(
                 "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"C\",\"ts\":{:.4},\"pid\":{},\
                  \"args\":{{\"value\":{},\"cycle\":{}}}}}",

@@ -29,7 +29,7 @@ impl PoissonTraffic {
     pub fn new(utilization: f64, peak_gbs: f64, write_frac: f64, seed: u64) -> Self {
         assert!(utilization > 0.0 && utilization <= 1.0);
         assert!((0.0..=1.0).contains(&write_frac));
-        let bytes_per_cycle = peak_gbs * coaxial_sim::NS_PER_CYCLE * utilization;
+        let bytes_per_cycle = coaxial_sim::gbs_to_bytes_per_cycle(peak_gbs) * utilization;
         let mean_interarrival = LINE_BYTES as f64 / bytes_per_cycle;
         Self {
             rng: SplitMix64::new(seed ^ 0x7AF1C),

@@ -82,22 +82,37 @@ fi
 echo "== coaxial-lint =="
 # Workspace static analysis: determinism (D01/D02), timing arithmetic
 # (T01/T02), zero-cost telemetry (Z01), unsafe hygiene (U01), the
-# cross-file coverage rules (C01, E01/E02/E03/E04/E05, M01), and lock
-# discipline (L01) over the resolved symbol graph. Suppressions live in
-# lint-allow.toml; the rule catalog is docs/LINTS.md. CI always runs the
-# full scan; `--changed-only` exists for local loops. The JSON report is
-# written next to the text run (CI uploads it as an artifact) and the
-# scan must stay inside a wall-time budget so the resolver/graph tiers
-# never quietly turn the gate sluggish — the per-rule breakdown on
+# cross-file coverage rules (C01, E01/E02/E03/E04/E05, M01), lock
+# discipline (L01), and the unit-of-measure dataflow rules (Q01/Q02/Q03)
+# over the resolved symbol graph. Suppressions live in lint-allow.toml;
+# the rule catalog is docs/LINTS.md. CI always runs the full scan;
+# `--changed-only` exists for local loops. The JSON and SARIF reports are
+# written next to the text run (CI uploads both as artifacts) and the
+# scan must stay inside a wall-time budget so the resolver/graph/dataflow
+# tiers never quietly turn the gate sluggish — the per-rule breakdown on
 # stderr names the rule to optimize when this trips.
 lint_start=$SECONDS
 cargo run -q --offline -p coaxial-lint --release
-cargo run -q --offline -p coaxial-lint --release -- --format json \
-  > "${LINT_REPORT_PATH:-target/coaxial-lint-report.json}"
+LINT_JSON="${LINT_REPORT_PATH:-target/coaxial-lint-report.json}"
+cargo run -q --offline -p coaxial-lint --release -- --format json > "$LINT_JSON"
+cargo run -q --offline -p coaxial-lint --release -- --format sarif \
+  > "${LINT_SARIF_PATH:-target/coaxial-lint-report.sarif}"
 lint_wall=$((SECONDS - lint_start))
 echo "coaxial-lint wall time: ${lint_wall}s (budget ${LINT_BUDGET_SECS:=60}s)"
 if [ "$lint_wall" -gt "$LINT_BUDGET_SECS" ]; then
   echo "coaxial-lint exceeded its ${LINT_BUDGET_SECS}s wall-time budget" >&2
+  exit 1
+fi
+# Per-rule budget over the report's timings_ms map (the dataflow tier's
+# Q01 fixpoint is the heaviest single rule — this catches a superlinear
+# regression in any one rule long before the whole-scan budget trips).
+slow_rules=$(tr ',{}' '\n\n\n' < "$LINT_JSON" \
+  | grep -E '^"[A-Z][0-9]+":[0-9.]+$' \
+  | awk -F'[":]' -v b="${LINT_RULE_BUDGET_MS:-5000}" '$4 + 0 > b { printf "%s %.0fms\n", $2, $4 }' \
+  || true)
+if [ -n "$slow_rules" ]; then
+  echo "coaxial-lint rules over the ${LINT_RULE_BUDGET_MS:-5000}ms per-rule budget:" >&2
+  echo "$slow_rules" >&2
   exit 1
 fi
 
